@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+The full three-tool sweep over all twenty subjects is expensive, so it
+runs once per session and is shared by every table/figure target.
+Select the size profile with ``REPRO_BENCH_PROFILE`` (quick | paper).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SUBJECTS, active_profile, prepare_subject, run_all
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return active_profile()
+
+
+@pytest.fixture(scope="session")
+def all_runs(profile):
+    """One full evaluation sweep: every subject, every tool."""
+    return run_all(profile)
+
+
+@pytest.fixture(scope="session")
+def subject_by_name():
+    return {s.name: s for s in SUBJECTS}
+
+
+@pytest.fixture(scope="session")
+def prepared(profile, subject_by_name):
+    """Factory: (module, truth, lines) for a subject, cached."""
+
+    def get(name: str):
+        return prepare_subject(subject_by_name[name], profile)
+
+    return get

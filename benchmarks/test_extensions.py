@@ -1,0 +1,66 @@
+"""Benchmarks for the implemented future-work extensions (paper §9).
+
+Not paper tables; they quantify what the extensions cost and what they
+buy on the generated corpus:
+
+* lock modeling: extra constraints per query vs. false positives removed;
+* memory models: report growth under TSO/PSO (relaxation monotonicity);
+* witness replay: the cost of dynamically confirming every report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AnalysisConfig, Canary
+from repro.interp import confirm_all
+
+SUBJECT = "transmission"
+
+
+def test_lock_modeling_cost(benchmark, prepared):
+    module, _truth, _lines = prepared(SUBJECT)
+    report = benchmark(
+        lambda: Canary(AnalysisConfig(model_locks=True)).analyze_module(module)
+    )
+    baseline = Canary(AnalysisConfig()).analyze_module(module)
+    # The generated corpus has no lock-protected patterns: same verdicts.
+    assert report.num_reports == baseline.num_reports
+
+
+@pytest.mark.parametrize("model", ["sc", "tso", "pso"])
+def test_memory_model_cost(benchmark, prepared, model):
+    module, _truth, _lines = prepared(SUBJECT)
+    report = benchmark(
+        lambda: Canary(AnalysisConfig(memory_model=model)).analyze_module(module)
+    )
+    benchmark.extra_info["reports"] = report.num_reports
+
+
+def test_memory_model_monotonicity(benchmark, prepared):
+    module, _truth, _lines = prepared(SUBJECT)
+
+    def counts():
+        return [
+            Canary(AnalysisConfig(memory_model=m)).analyze_module(module).num_reports
+            for m in ("sc", "tso", "pso")
+        ]
+
+    sc, tso, pso = benchmark(counts)
+    assert sc <= tso <= pso
+
+
+def test_witness_replay_cost(benchmark, prepared):
+    module, _truth, _lines = prepared(SUBJECT)
+    report = Canary(AnalysisConfig()).analyze_module(module)
+    assert report.num_reports >= 1
+
+    results = benchmark(lambda: confirm_all(module, report.bugs))
+    # Every *real* injected bug must replay; the cfp patterns (runtime-
+    # correlated conditions) legitimately may not.
+    real = [
+        r
+        for r in results
+        if module.function_of(r.bug.source).startswith("real_")
+    ]
+    assert real and all(r.confirmed for r in real)

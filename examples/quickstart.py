@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Fig. 2 example, end to end.
+
+Runs Canary on the nutshell program of §2 — a *bug-free* snippet that
+path-insensitive concurrency analyses flag as an inter-thread
+use-after-free — and on a genuinely buggy variant, showing:
+
+1. the guarded value-flow graph Canary builds (Alg. 1 + Alg. 2),
+2. that the contradictory-guard flow (theta ∧ ¬theta) is refuted, and
+3. a concise bug report with a witness interleaving for the real bug.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AnalysisConfig, Canary
+
+FIG2 = """
+extern int theta1;
+
+void main() {
+    int** x = malloc();        // o1
+    int* a = malloc();
+    *x = a;
+    fork(t, thread1, x);
+    if (theta1) {
+        int* c = *x;
+        print(*c);             // the would-be use
+    }
+}
+
+void thread1(int** y) {
+    int* b = malloc();         // o2
+    if (!theta1) {
+        *y = b;                // interference store
+        free(b);               // the would-be free
+    }
+}
+"""
+
+
+def main() -> None:
+    canary = Canary(AnalysisConfig(checkers=("use-after-free",)))
+
+    print("=" * 72)
+    print("Fig. 2 as published (bug-free: theta1 and !theta1 contradict)")
+    print("=" * 72)
+    report = canary.analyze_source(FIG2, filename="fig2.mcc")
+    print(f"reports: {report.num_reports}   (expected: 0 — no false positive)")
+    print(f"VFG: {report.vfg_summary}")
+
+    print()
+    print("=" * 72)
+    print("Buggy variant (both branches guarded by theta1: compatible)")
+    print("=" * 72)
+    buggy = FIG2.replace("if (!theta1)", "if (theta1)")
+    report = canary.analyze_source(buggy, filename="fig2_buggy.mcc")
+    print(f"reports: {report.num_reports}   (expected: 1 — a real UAF)")
+    print()
+    for bug in report.bugs:
+        print(bug.describe())
+        print()
+    print(
+        "The witness interleaving lists the statement order variables O<label>\n"
+        "in an order the SMT solver proved consistent with the program order,\n"
+        "the fork semantics, and the load-store constraints — i.e. a real\n"
+        "schedule that triggers the use-after-free."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Reproduction of *Canary: Practical Static Detection of Inter-thread
+Value-Flow Bugs* (Cai, Yao, Zhang — PLDI 2021).
+
+Quickstart::
+
+    from repro import Canary
+
+    report = Canary().analyze_source('''
+        void main() { ... }
+    ''')
+    for bug in report.bugs:
+        print(bug.describe())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured evaluation record.
+"""
+
+__version__ = "1.0.0"
+
+from .analysis import AnalysisConfig, AnalysisReport, Canary
+
+__all__ = ["Canary", "AnalysisConfig", "AnalysisReport", "__version__"]

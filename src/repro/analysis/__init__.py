@@ -1,0 +1,6 @@
+"""Public analysis facade: :class:`Canary`, its config and report types."""
+
+from .config import AnalysisConfig
+from .driver import AnalysisReport, Canary
+
+__all__ = ["AnalysisConfig", "AnalysisReport", "Canary"]

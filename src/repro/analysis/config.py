@@ -1,0 +1,57 @@
+"""Analysis configuration.
+
+Defaults follow the paper's implementation notes (§6/§7.2): loops
+unrolled twice, calling-context nesting depth six, guard pruning with the
+lightweight semi-decision procedures enabled.  The ablation switches
+(``prune_guards``, ``use_mhp``, ``order_constraints``) exist for the
+ablation benchmarks called out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["AnalysisConfig"]
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    #: loop unrolling depth (paper §6: "we unroll each loop twice")
+    unroll_depth: int = 2
+    #: calling-context nesting depth (paper §7.2: "set to six")
+    context_depth: int = 6
+    #: checkers to run, by name (see repro.checkers.ALL_CHECKERS)
+    checkers: Tuple[str, ...] = ("use-after-free",)
+    #: report only inter-thread findings (the paper's target properties)
+    inter_thread_only: bool = True
+    #: bound on guarded memory-content entries per object (Alg. 1 state)
+    max_content_entries: int = 16
+    #: bound on Alg. 2 fixed-point rounds
+    max_interference_rounds: int = 20
+    #: value-flow path search bounds
+    max_path_depth: int = 40
+    max_paths_per_source: int = 512
+    max_reports_per_source: int = 8
+    #: solve independent path queries on a thread pool (paper §5.2)
+    parallel_solving: bool = False
+    solver_workers: int = 4
+    #: use cube-and-conquer splitting for path queries (paper §5.2)
+    cube_and_conquer: bool = False
+    #: ablation: apply the semi-decision guard filter during construction
+    prune_guards: bool = True
+    #: ablation: prune non-MHP store/load pairs before Alg. 2 (paper §6)
+    use_mhp: bool = True
+    #: ablation: include Φ_ls / Φ_po order constraints when checking
+    order_constraints: bool = True
+    #: SAT conflict budget per path query (None = unlimited)
+    solver_max_conflicts: Optional[int] = 100_000
+    #: extension (paper future work 1): model lock/unlock mutual exclusion
+    #: in the order constraints (off by default, matching the paper)
+    model_locks: bool = False
+    #: extension (paper future work 2): memory model for the program-order
+    #: constraints — 'sc' (paper default), 'tso', or 'pso'
+    memory_model: str = "sc"
+    #: record solver-refuted candidates with the refutation reason
+    #: (guard-contradiction vs order-violation) in the report
+    collect_suppressed: bool = False

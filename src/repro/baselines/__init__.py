@@ -1,0 +1,22 @@
+"""Baseline detectors the paper compares against (§7.1):
+
+* :class:`SaberBaseline` — Andersen flow-insensitive, unguarded VFG;
+* :class:`FsamBaseline` — exhaustive flow-sensitive, thread-aware VFG.
+
+Both are reimplementations of the published algorithms with the same
+report semantics (no path/interleaving reasoning), used by the Fig. 7
+and Table 1 benchmarks.
+"""
+
+from .common import BaselineReport, UnguardedVFG
+from .fsam import FsamBaseline, FsamResult
+from .saber import SaberBaseline, SaberResult
+
+__all__ = [
+    "BaselineReport",
+    "UnguardedVFG",
+    "FsamBaseline",
+    "FsamResult",
+    "SaberBaseline",
+    "SaberResult",
+]

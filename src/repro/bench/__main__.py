@@ -1,0 +1,61 @@
+"""CLI entry point: regenerate every table and figure of the evaluation.
+
+Usage::
+
+    python -m repro.bench [--profile quick|paper] [--tools canary,saber,fsam]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .runner import run_all
+from .subjects import PROFILES, SUBJECTS
+from .tables import render_fig7_memory, render_fig7_time, render_fig8, render_table1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="Canary reproduction benchmarks")
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="quick")
+    parser.add_argument(
+        "--tools", default="canary,saber,fsam", help="comma-separated tool list"
+    )
+    parser.add_argument(
+        "--subjects",
+        default="",
+        help="comma-separated subject names (default: all twenty)",
+    )
+    parser.add_argument(
+        "--artifacts",
+        default="",
+        help="directory to write CSV/ASCII artifacts into",
+    )
+    args = parser.parse_args(argv)
+    profile = PROFILES[args.profile]
+    tools = tuple(t.strip() for t in args.tools.split(",") if t.strip())
+    subjects = None
+    if args.subjects:
+        wanted = {s.strip() for s in args.subjects.split(",")}
+        subjects = [s for s in SUBJECTS if s.name in wanted]
+
+    print(f"profile={profile.name}  tools={','.join(tools)}", flush=True)
+    runs = run_all(profile, tools=tools, subjects=subjects)
+    print()
+    print(render_fig7_time(runs))
+    print()
+    print(render_fig7_memory(runs))
+    print()
+    print(render_fig8(runs))
+    print()
+    print(render_table1(runs))
+    if args.artifacts:
+        from .artifacts import write_artifacts
+
+        for path in write_artifacts(runs, args.artifacts):
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""Benchmark artifacts: CSV dumps and ASCII charts.
+
+``python -m repro.bench --artifacts DIR`` writes machine-readable CSVs
+(one per table/figure) alongside the printed tables, and the ASCII chart
+gives the Fig. 7a "log-scale time, subjects ordered by size" picture in
+a terminal.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+import pathlib
+from typing import Dict, List, Optional, Sequence
+
+from .runner import SubjectRun
+from .tables import fig8_fits
+
+__all__ = ["fig7_csv", "table1_csv", "fig8_csv", "ascii_time_chart", "write_artifacts"]
+
+
+def fig7_csv(runs: Sequence[SubjectRun]) -> str:
+    """Fig. 7 data: per-subject time and memory for each tool."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(
+        [
+            "index",
+            "subject",
+            "lines",
+            "saber_seconds",
+            "saber_mb",
+            "fsam_seconds",
+            "fsam_mb",
+            "canary_seconds",
+            "canary_mb",
+        ]
+    )
+    for run in runs:
+        row: List[object] = [run.subject.index, run.subject.name, run.lines]
+        for tool_name in ("saber", "fsam", "canary"):
+            tool = run.tools.get(tool_name)
+            if tool is None or tool.timed_out:
+                row += ["NA", "NA"]
+            else:
+                row += [f"{tool.seconds:.6f}", f"{tool.peak_mb:.3f}"]
+        writer.writerow(row)
+    return out.getvalue()
+
+
+def table1_csv(runs: Sequence[SubjectRun]) -> str:
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(
+        [
+            "index",
+            "subject",
+            "lines",
+            "saber_reports",
+            "saber_fp_rate",
+            "fsam_reports",
+            "fsam_fp_rate",
+            "canary_reports",
+            "canary_fps",
+            "canary_tps",
+        ]
+    )
+    for run in runs:
+        saber = run.tools.get("saber")
+        fsam = run.tools.get("fsam")
+        canary = run.tools.get("canary")
+
+        def fmt(tool, attr):
+            if tool is None or tool.timed_out:
+                return "NA"
+            value = getattr(tool, attr)
+            if value is None:
+                return ""
+            return f"{value:.2f}" if isinstance(value, float) else str(value)
+
+        writer.writerow(
+            [
+                run.subject.index,
+                run.subject.name,
+                run.lines,
+                fmt(saber, "reports"),
+                fmt(saber, "fp_rate"),
+                fmt(fsam, "reports"),
+                fmt(fsam, "fp_rate"),
+                fmt(canary, "reports"),
+                fmt(canary, "false_positives"),
+                fmt(canary, "true_positives"),
+            ]
+        )
+    return out.getvalue()
+
+
+def fig8_csv(runs: Sequence[SubjectRun]) -> str:
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["subject", "kloc_generated", "canary_seconds", "canary_mb"])
+    for run in sorted(runs, key=lambda r: r.lines):
+        canary = run.tools.get("canary")
+        if canary is None:
+            continue
+        writer.writerow(
+            [
+                run.subject.name,
+                f"{run.lines / 1000.0:.3f}",
+                f"{canary.seconds:.6f}",
+                f"{(canary.peak_mb or 0.0):.3f}",
+            ]
+        )
+    if sum(1 for r in runs if "canary" in r.tools) >= 2:
+        time_fit, mem_fit = fig8_fits(runs)
+        writer.writerow([])
+        writer.writerow(["fit_time", time_fit.slope, time_fit.intercept, time_fit.r_squared])
+        writer.writerow(["fit_memory", mem_fit.slope, mem_fit.intercept, mem_fit.r_squared])
+    return out.getvalue()
+
+
+def ascii_time_chart(runs: Sequence[SubjectRun], width: int = 60) -> str:
+    """Fig. 7a as an ASCII chart: log-scale time bars per subject/tool."""
+    rows: List[str] = [
+        "Fig. 7a (ASCII) — time, log scale; S=Saber F=Fsam C=Canary; x = NA"
+    ]
+    samples = []
+    for run in runs:
+        for tool_name in ("saber", "fsam", "canary"):
+            tool = run.tools.get(tool_name)
+            if tool is not None and not tool.timed_out and tool.seconds:
+                samples.append(tool.seconds)
+    if not samples:
+        return rows[0] + "\n(no data)"
+    lo = math.log10(max(1e-4, min(samples)))
+    hi = math.log10(max(samples))
+    span = max(1e-9, hi - lo)
+
+    def bar(seconds: Optional[float], marker: str) -> str:
+        if seconds is None:
+            return "x"
+        pos = int((math.log10(max(1e-4, seconds)) - lo) / span * (width - 1))
+        return "·" * pos + marker
+
+    for run in runs:
+        rows.append(f"{run.subject.index:>2} {run.subject.name:<13} ({run.lines} lines)")
+        for tool_name, marker in (("saber", "S"), ("fsam", "F"), ("canary", "C")):
+            tool = run.tools.get(tool_name)
+            seconds = (
+                tool.seconds if tool is not None and not tool.timed_out else None
+            )
+            rows.append(f"    {bar(seconds, marker)}")
+    return "\n".join(rows)
+
+
+def write_artifacts(runs: Sequence[SubjectRun], directory) -> List[str]:
+    """Write all CSVs + the ASCII chart to ``directory``; returns paths."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, content in (
+        ("fig7.csv", fig7_csv(runs)),
+        ("table1.csv", table1_csv(runs)),
+        ("fig8.csv", fig8_csv(runs)),
+        ("fig7a_ascii.txt", ascii_time_chart(runs)),
+    ):
+        path = directory / name
+        path.write_text(content)
+        written.append(str(path))
+    return written

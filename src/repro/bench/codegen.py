@@ -1,0 +1,266 @@
+"""Deterministic synthetic-project generator.
+
+The paper evaluates on twenty open-source C/C++ projects.  Those trees
+(and their concurrency-bug ground truth) are not available here, so the
+benchmarks substitute *generated MiniCC projects* that exercise the same
+analysis code paths:
+
+* **filler units** — call chains, pointer shuffles, heap boxes and loops
+  that never escape a thread: they cost an exhaustive points-to analysis
+  (Saber/FSAM) dearly but are skipped by Canary's escape-guided
+  interference reasoning;
+* **real inter-thread UAF bugs** (``real_uaf_*``) — a worker publishes a
+  pointer through a shared slot and frees it while the parent may still
+  dereference (the paper's transmission/firefox bug shape);
+* **Canary false-positive patterns** (``cfp_uaf_*``) — free and use
+  guarded by *independent* opaque conditions that are correlated at
+  runtime in ways no static tool can see (the paper's 26.67% FP rate
+  comes from exactly such unmodeled correlations);
+* **guard-infeasible baits** (``bait_guard_*``) — the Fig. 2 pattern:
+  contradictory branch conditions on a shared ``extern`` config;
+* **order-infeasible baits** (``bait_order_*``) — flows forbidden by
+  fork/join order (use-before-fork and join-protected overwrites).
+
+Canary should report exactly the real bugs plus the cfp patterns;
+the unguarded baselines additionally report every bait (plus aliasing
+noise), reproducing the Table 1 asymmetry.
+
+Generation is deterministic given the spec (seeded PRNG), so benchmark
+runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["ProjectSpec", "generate_project", "GroundTruth"]
+
+
+@dataclass(frozen=True)
+class ProjectSpec:
+    """Parameters of one synthetic subject."""
+
+    name: str
+    target_lines: int
+    real_bugs: int = 1
+    canary_fps: int = 0
+    guard_baits: int = 1
+    order_baits: int = 1
+    seed: int = 0
+
+    #: lines consumed by one filler utility function, its share of the
+    #: dispatch handlers, and the call-site lines in main (approximate)
+    FILLER_LINES: int = 21
+
+
+@dataclass
+class GroundTruth:
+    """What the generator injected (for report classification)."""
+
+    real_bug_functions: List[str] = field(default_factory=list)
+    canary_fp_functions: List[str] = field(default_factory=list)
+    bait_functions: List[str] = field(default_factory=list)
+
+    def classify_free_site(self, function_name: str) -> str:
+        """'tp' | 'fp' for a report whose free is in ``function_name``."""
+        if function_name in self.real_bug_functions:
+            return "tp"
+        return "fp"
+
+
+def generate_project(spec: ProjectSpec) -> tuple[str, GroundTruth]:
+    """Emit MiniCC source of roughly ``spec.target_lines`` lines."""
+    rng = random.Random(spec.seed or hash(spec.name) & 0xFFFF)
+    truth = GroundTruth()
+    parts: List[str] = []
+    main_body: List[str] = []
+    thread_counter = [0]
+
+    n_externs = max(4, spec.guard_baits + 2)
+    for i in range(n_externs):
+        parts.append(f"extern int cfg{i};")
+    parts.append("")
+
+    def fresh_thread() -> str:
+        thread_counter[0] += 1
+        return f"t{thread_counter[0]}"
+
+    # ----- injected patterns ------------------------------------------------
+
+    for i in range(spec.real_bugs):
+        fn = f"real_uaf_worker_{i}"
+        truth.real_bug_functions.append(fn)
+        parts.append(
+            f"void {fn}(int** slot) {{\n"
+            f"    int* fresh = malloc();\n"
+            f"    *slot = fresh;\n"
+            f"    free(fresh);\n"
+            f"}}"
+        )
+        t = fresh_thread()
+        main_body += [
+            f"    int** rslot{i} = malloc();",
+            f"    int* rinit{i} = malloc();",
+            f"    *rslot{i} = rinit{i};",
+            f"    fork({t}, {fn}, rslot{i});",
+            f"    int* rv{i} = *rslot{i};",
+            f"    print(*rv{i});",
+        ]
+
+    for i in range(spec.canary_fps):
+        fn = f"cfp_uaf_worker_{i}"
+        truth.canary_fp_functions.append(fn)
+        # The free runs only on an error path; the use only on the success
+        # path.  At runtime the two opaque conditions are exclusive, but no
+        # static tool can know that: Canary reports it (a false positive,
+        # like the paper's 4/15).
+        parts.append(
+            f"void {fn}(int** slot) {{\n"
+            f"    int* fresh = malloc();\n"
+            f"    *slot = fresh;\n"
+            f"    int failed = nondet();\n"
+            f"    if (failed) {{\n"
+            f"        free(fresh);\n"
+            f"    }}\n"
+            f"}}"
+        )
+        t = fresh_thread()
+        main_body += [
+            f"    int** cslot{i} = malloc();",
+            f"    int* cinit{i} = malloc();",
+            f"    *cslot{i} = cinit{i};",
+            f"    fork({t}, {fn}, cslot{i});",
+            f"    int ok{i} = nondet();",
+            f"    if (ok{i}) {{",
+            f"        int* cv{i} = *cslot{i};",
+            f"        print(*cv{i});",
+            f"    }}",
+        ]
+
+    for i in range(spec.guard_baits):
+        fn = f"bait_guard_worker_{i}"
+        truth.bait_functions.append(fn)
+        cfg = f"cfg{i % n_externs}"
+        # Arithmetic complements (cfg < 2 vs cfg >= 2): contradictory, but
+        # not syntactically complementary literals — the semi-decision
+        # filter (or, with pruning off, the SMT solver) must refute them.
+        parts.append(
+            f"void {fn}(int** slot) {{\n"
+            f"    int* fresh = malloc();\n"
+            f"    if ({cfg} < 2) {{\n"
+            f"        *slot = fresh;\n"
+            f"        free(fresh);\n"
+            f"    }}\n"
+            f"}}"
+        )
+        t = fresh_thread()
+        main_body += [
+            f"    int** gslot{i} = malloc();",
+            f"    int* ginit{i} = malloc();",
+            f"    *gslot{i} = ginit{i};",
+            f"    fork({t}, {fn}, gslot{i});",
+            f"    if ({cfg} >= 2) {{",
+            f"        int* gv{i} = *gslot{i};",
+            f"        print(*gv{i});",
+            f"    }}",
+        ]
+
+    for i in range(spec.order_baits):
+        fn = f"bait_order_worker_{i}"
+        truth.bait_functions.append(fn)
+        parts.append(
+            f"void {fn}(int** slot) {{\n"
+            f"    int* old = *slot;\n"
+            f"    int* fresh = malloc();\n"
+            f"    *slot = fresh;\n"
+            f"    free(old);\n"
+            f"}}"
+        )
+        t = fresh_thread()
+        # Join-protected: after join the slot holds 'fresh'; the freed
+        # 'old' can no longer be loaded (Φ_ls + Φ_po refute it).
+        main_body += [
+            f"    int** oslot{i} = malloc();",
+            f"    int* oinit{i} = malloc();",
+            f"    *oslot{i} = oinit{i};",
+            f"    fork({t}, {fn}, oslot{i});",
+            f"    join({t});",
+            f"    int* ov{i} = *oslot{i};",
+            f"    print(*ov{i});",
+        ]
+
+    # ----- filler ------------------------------------------------------------
+
+    committed = sum(p.count("\n") + 1 for p in parts) + len(main_body) + 8
+    filler_needed = max(0, spec.target_lines - committed)
+    n_filler = filler_needed // spec.FILLER_LINES
+
+    # Dispatch-table pattern: each handler is address-taken and invoked
+    # through its own function-pointer variable.  Unification-based
+    # resolution (Canary's thread call graph) keeps the targets separate;
+    # an inclusion-based exhaustive analysis conservatively couples every
+    # address-taken handler at every indirect site — a classic source of
+    # superlinear blow-up for the Saber family.
+    n_dispatch = max(1, n_filler // 3)
+    for d in range(n_dispatch):
+        parts.append(
+            f"int* handler_{d}(int* a0) {{\n"
+            f"    int** cell = malloc();\n"
+            f"    *cell = a0;\n"
+            f"    int* r = *cell;\n"
+            f"    return r;\n"
+            f"}}"
+        )
+
+    # Every utility churns the same pass-through *work box*: it stores a
+    # fresh object and immediately reloads.  Flow-sensitively (Canary,
+    # Alg. 1) the strong update keeps the box's content a single entry, so
+    # the VFG stays sparse and linear.  A flow-insensitive exhaustive
+    # analysis accumulates *every* utility's object in the one abstract
+    # cell, so the store×load pairing is quadratic in the number of
+    # utilities — the Saber/FSAM scalability wall of Fig. 7.  The box
+    # never reaches a fork, so Canary's escape analysis skips it entirely.
+    main_body.insert(0, "    int** workbox = malloc();")
+    for u in range(n_filler):
+        fn = f"util_{u}"
+        cfg = f"cfg{rng.randrange(n_externs)}"
+        threshold = rng.randrange(8)
+        parts.append(
+            f"int* {fn}(int* a0, int* b0, int** box) {{\n"
+            f"    int* t0 = a0;\n"
+            f"    int* t1 = t0;\n"
+            f"    int* fresh = malloc();\n"
+            f"    *box = fresh;\n"
+            f"    int* got = *box;\n"
+            f"    int* out = got;\n"
+            f"    if ({cfg} > {threshold}) {{\n"
+            f"        out = b0;\n"
+            f"    }}\n"
+            f"    int n = 0;\n"
+            f"    while (n < 2) {{\n"
+            f"        n = n + 1;\n"
+            f"    }}\n"
+            f"    return out;\n"
+            f"}}"
+        )
+        if u % 3 == 0:
+            main_body.append(f"    int* u{u} = util_{u}(fp0, fp1, workbox);")
+        elif u % 3 == 1:
+            main_body.append(f"    u{u - 1} = util_{u}(u{u - 1}, fp0, workbox);")
+        else:
+            main_body.append(f"    int* u{u} = util_{u}(u{u - 1}, u{u - 2}, workbox);")
+        if u % 4 == 0:
+            d = rng.randrange(n_dispatch)
+            main_body.append(f"    int* h{u} = handler_{d};")
+            main_body.append(f"    int* hv{u} = h{u}(fp0);")
+
+    header = [
+        "void main() {",
+        "    int* fp0 = malloc();",
+        "    int* fp1 = malloc();",
+    ]
+    parts.append("\n".join(header + main_body + ["}"]))
+    source = "\n\n".join(parts) + "\n"
+    return source, truth

@@ -1,0 +1,111 @@
+"""Compare two benchmark artifact sets (CI regression detection).
+
+``python -m repro.bench.compare old/table1.csv new/table1.csv`` (or the
+library call) diffs two Table-1 CSVs: changed report counts are verdict
+regressions (the precision contract), while time changes beyond a
+threshold are performance regressions (checked against fig7.csv).
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Regression", "compare_table1", "compare_fig7", "main"]
+
+
+@dataclass
+class Regression:
+    subject: str
+    kind: str  # 'verdict' | 'time'
+    detail: str
+
+    def __repr__(self) -> str:
+        return f"[{self.kind}] {self.subject}: {self.detail}"
+
+
+def _load_csv(path) -> Dict[str, Dict[str, str]]:
+    rows: Dict[str, Dict[str, str]] = {}
+    with open(path, newline="") as fh:
+        for row in csv.DictReader(fh):
+            if row.get("subject"):
+                rows[row["subject"]] = row
+    return rows
+
+
+def compare_table1(old_path, new_path) -> List[Regression]:
+    """Verdict regressions: any change in Canary's per-subject report,
+    FP or TP counts between two runs."""
+    old, new = _load_csv(old_path), _load_csv(new_path)
+    out: List[Regression] = []
+    for subject, old_row in old.items():
+        new_row = new.get(subject)
+        if new_row is None:
+            out.append(Regression(subject, "verdict", "subject missing in new run"))
+            continue
+        for column in ("canary_reports", "canary_fps", "canary_tps"):
+            if old_row.get(column, "") != new_row.get(column, ""):
+                out.append(
+                    Regression(
+                        subject,
+                        "verdict",
+                        f"{column}: {old_row.get(column)} -> {new_row.get(column)}",
+                    )
+                )
+    return out
+
+
+def compare_fig7(
+    old_path, new_path, slowdown_threshold: float = 1.5
+) -> List[Regression]:
+    """Time regressions: Canary slower than ``threshold×`` the old run,
+    or a previously-completed tool now timing out."""
+    old, new = _load_csv(old_path), _load_csv(new_path)
+    out: List[Regression] = []
+    for subject, old_row in old.items():
+        new_row = new.get(subject)
+        if new_row is None:
+            continue
+        for tool in ("canary", "saber", "fsam"):
+            column = f"{tool}_seconds"
+            old_v, new_v = old_row.get(column, "NA"), new_row.get(column, "NA")
+            if old_v != "NA" and new_v == "NA":
+                out.append(
+                    Regression(subject, "time", f"{tool} newly exceeds the budget")
+                )
+            elif old_v != "NA" and new_v != "NA":
+                old_s, new_s = float(old_v), float(new_v)
+                if old_s > 0.05 and new_s > old_s * slowdown_threshold:
+                    out.append(
+                        Regression(
+                            subject,
+                            "time",
+                            f"{tool} {old_s:.3f}s -> {new_s:.3f}s "
+                            f"({new_s / old_s:.1f}×)",
+                        )
+                    )
+    return out
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 2:
+        print("usage: python -m repro.bench.compare OLD_DIR NEW_DIR", file=sys.stderr)
+        return 2
+    old_dir, new_dir = (pathlib.Path(a) for a in argv)
+    regressions: List[Regression] = []
+    regressions += compare_table1(old_dir / "table1.csv", new_dir / "table1.csv")
+    regressions += compare_fig7(old_dir / "fig7.csv", new_dir / "fig7.csv")
+    if not regressions:
+        print("no regressions")
+        return 0
+    for r in regressions:
+        print(r)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Time/memory metering for the benchmark harness.
+
+The paper measures wall-clock time and peak resident memory per tool
+(Fig. 7, Fig. 8); here we use ``time.perf_counter`` and ``tracemalloc``
+peak (Python-heap peak — a consistent, reproducible proxy for RSS).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple
+
+__all__ = ["Measurement", "measure"]
+
+
+@dataclass
+class Measurement:
+    result: Any
+    seconds: float
+    peak_mb: float
+    timed_out: bool = False
+
+
+def measure(
+    fn: Callable[[], Any],
+    track_memory: bool = True,
+    budget_seconds: Optional[float] = None,
+) -> Measurement:
+    """Run ``fn`` measuring wall time and Python-heap peak.
+
+    ``budget_seconds`` marks the measurement as timed out when the run
+    exceeds it (cooperative: the called analyses take their own budget
+    parameter to stop early; this flag catches overshoot).
+    """
+    if track_memory:
+        tracemalloc.start()
+    start = time.perf_counter()
+    try:
+        result = fn()
+    finally:
+        seconds = time.perf_counter() - start
+        peak = 0
+        if track_memory:
+            _cur, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+    timed_out = budget_seconds is not None and seconds > budget_seconds
+    return Measurement(
+        result=result,
+        seconds=seconds,
+        peak_mb=peak / (1024 * 1024),
+        timed_out=timed_out,
+    )

@@ -1,0 +1,131 @@
+"""The twenty evaluation subjects of the paper's Table 1.
+
+Each entry records the project's real size (KLoC, from Table 1) and the
+ground-truth injection counts derived from the paper's reported results:
+
+* ``canary_reports``/``canary_fps`` come straight from Table 1's Canary
+  columns (15 reports, 4 FPs, 26.67% FP rate overall);
+* real bugs = reports − FPs for that subject;
+* bait counts scale with project size, standing in for the code mass
+  that makes the unguarded baselines report hundreds-to-thousands of
+  warnings per subject.
+
+Synthetic size: ``lines = 250 + lines_per_kloc × KLoC`` (capped), so the
+relative ordering of subject sizes matches the paper.  Two profiles:
+
+* ``quick``  — small sizes for CI / pytest-benchmark runs;
+* ``paper``  — the full scaled sizes used for EXPERIMENTS.md numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .codegen import ProjectSpec
+
+__all__ = ["Subject", "SUBJECTS", "project_spec", "active_profile", "PROFILES"]
+
+
+@dataclass(frozen=True)
+class Subject:
+    """One Table-1 row."""
+
+    index: int
+    name: str
+    kloc: int
+    #: Canary columns of Table 1
+    canary_reports: int
+    canary_fps: int
+    #: paper-reported baseline results (for EXPERIMENTS.md comparison)
+    saber_reports: object  # int | None (NA)
+    saber_fp_rate: object  # float | None
+    fsam_reports: object
+    fsam_fp_rate: object
+
+    @property
+    def real_bugs(self) -> int:
+        return self.canary_reports - self.canary_fps
+
+
+#: Table 1, verbatim.  None = NA (timed out in the paper's 12h budget).
+SUBJECTS: List[Subject] = [
+    Subject(1, "lrzip", 16, 2, 0, 63, 96.82, 32, 93.75),
+    Subject(2, "lwan", 20, 1, 0, 89, 98.87, 44, 100.0),
+    Subject(3, "leveldb", 21, 1, 1, 0, 100.0, 0, 100.0),
+    Subject(4, "darknet", 29, 0, 0, 3636, 100.0, 144, 100.0),
+    Subject(5, "coturn", 39, 2, 0, 1477, 100.0, 368, 100.0),
+    Subject(6, "httrack", 49, 1, 1, 134, 100.0, None, None),
+    Subject(7, "finedb", 51, 1, 0, 421, 100.0, None, None),
+    Subject(8, "tcpdump", 85, 0, 0, 0, 100.0, None, None),
+    Subject(9, "transmission", 88, 2, 0, 299, 99.33, None, None),
+    Subject(10, "celix", 107, 0, 0, 3782, 100.0, None, None),
+    Subject(11, "redis", 219, 0, 0, 0, 100.0, None, None),
+    Subject(12, "git", 239, 0, 0, None, None, None, None),
+    Subject(13, "zfs", 367, 1, 0, None, None, None, None),
+    Subject(14, "HP-Socket", 426, 0, 0, None, None, None, None),
+    Subject(15, "openssl", 451, 1, 1, None, None, None, None),
+    Subject(16, "poco", 705, 0, 0, None, None, None, None),
+    Subject(17, "mariadb", 1751, 1, 0, None, None, None, None),
+    Subject(18, "ffmpeg", 2003, 0, 0, None, None, None, None),
+    Subject(19, "mysql", 3118, 0, 0, None, None, None, None),
+    Subject(20, "firefox", 8938, 2, 1, None, None, None, None),
+]
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """Size/budget knobs for one benchmark configuration."""
+
+    name: str
+    lines_per_kloc: float
+    max_lines: int
+    base_lines: int
+    #: wall-clock budget per baseline VFG construction ("NA" beyond it) —
+    #: the scaled stand-in for the paper's 12-hour timeout
+    baseline_budget_seconds: float
+
+
+PROFILES: Dict[str, BenchProfile] = {
+    "quick": BenchProfile(
+        name="quick",
+        lines_per_kloc=2.0,
+        max_lines=8_000,
+        base_lines=200,
+        baseline_budget_seconds=0.6,
+    ),
+    "paper": BenchProfile(
+        name="paper",
+        lines_per_kloc=20.0,
+        max_lines=65_000,
+        base_lines=250,
+        baseline_budget_seconds=1.5,
+    ),
+}
+
+
+def active_profile() -> BenchProfile:
+    """Profile selected by REPRO_BENCH_PROFILE (default: quick)."""
+    return PROFILES[os.environ.get("REPRO_BENCH_PROFILE", "quick")]
+
+
+def project_spec(subject: Subject, profile: BenchProfile) -> ProjectSpec:
+    """The generator spec for one subject under one profile."""
+    lines = min(
+        profile.max_lines,
+        int(profile.base_lines + profile.lines_per_kloc * subject.kloc),
+    )
+    # Bait density stands in for the concurrency-heavy code mass that
+    # makes the baselines report hundreds of warnings on real projects.
+    guard_baits = max(5, min(40, subject.kloc // 25 + 1))
+    order_baits = max(5, min(40, subject.kloc // 25 + 1))
+    return ProjectSpec(
+        name=subject.name,
+        target_lines=lines,
+        real_bugs=subject.real_bugs,
+        canary_fps=subject.canary_fps,
+        guard_baits=guard_baits,
+        order_baits=order_baits,
+        seed=subject.index * 1009,
+    )

@@ -1,0 +1,149 @@
+"""Renderers that print the paper's figures/tables from benchmark runs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .curvefit import LinearFit, linear_fit
+from .runner import SubjectRun
+
+__all__ = [
+    "render_fig7_time",
+    "render_fig7_memory",
+    "render_fig8",
+    "render_table1",
+    "fig8_fits",
+]
+
+
+def _fmt(value: Optional[float], unit: str = "", na: str = "NA") -> str:
+    if value is None:
+        return na
+    return f"{value:.3f}{unit}"
+
+
+def render_fig7_time(runs: Sequence[SubjectRun]) -> str:
+    """Fig. 7a: per-subject VFG/analysis time, Saber vs Fsam vs Canary."""
+    lines = [
+        "Fig. 7a — analysis time per subject (seconds; NA = budget exceeded)",
+        f"{'#':>2} {'subject':<14} {'lines':>7} {'Saber':>10} {'Fsam':>10} {'Canary':>10}",
+    ]
+    for run in runs:
+        saber = run.tools.get("saber")
+        fsam = run.tools.get("fsam")
+        canary = run.tools.get("canary")
+        lines.append(
+            f"{run.subject.index:>2} {run.subject.name:<14} {run.lines:>7} "
+            f"{_fmt(saber.seconds if saber and not saber.timed_out else None):>10} "
+            f"{_fmt(fsam.seconds if fsam and not fsam.timed_out else None):>10} "
+            f"{_fmt(canary.seconds if canary else None):>10}"
+        )
+    return "\n".join(lines)
+
+
+def render_fig7_memory(runs: Sequence[SubjectRun]) -> str:
+    """Fig. 7b: per-subject peak memory, Saber vs Fsam vs Canary."""
+    lines = [
+        "Fig. 7b — peak analysis memory per subject (MB; NA = budget exceeded)",
+        f"{'#':>2} {'subject':<14} {'lines':>7} {'Saber':>10} {'Fsam':>10} {'Canary':>10}",
+    ]
+    for run in runs:
+        saber = run.tools.get("saber")
+        fsam = run.tools.get("fsam")
+        canary = run.tools.get("canary")
+        lines.append(
+            f"{run.subject.index:>2} {run.subject.name:<14} {run.lines:>7} "
+            f"{_fmt(saber.peak_mb if saber and not saber.timed_out else None):>10} "
+            f"{_fmt(fsam.peak_mb if fsam and not fsam.timed_out else None):>10} "
+            f"{_fmt(canary.peak_mb if canary else None):>10}"
+        )
+    return "\n".join(lines)
+
+
+def fig8_fits(runs: Sequence[SubjectRun]) -> Tuple[LinearFit, LinearFit]:
+    """Linear fits of Canary time and memory against subject size."""
+    pts = [
+        (run.lines / 1000.0, run.tools["canary"])
+        for run in runs
+        if "canary" in run.tools
+    ]
+    xs = [x for x, _t in pts]
+    time_fit = linear_fit(xs, [t.seconds for _x, t in pts])
+    mem_fit = linear_fit(xs, [t.peak_mb or 0.0 for _x, t in pts])
+    return time_fit, mem_fit
+
+
+def render_fig8(runs: Sequence[SubjectRun]) -> str:
+    """Fig. 8: Canary scalability — time/memory vs size, with R² fits."""
+    fits = None
+    if sum(1 for r in runs if "canary" in r.tools) >= 2:
+        fits = fig8_fits(runs)
+    lines = [
+        "Fig. 8 — Canary end-to-end scalability",
+        f"{'#':>2} {'subject':<14} {'KLoC(gen)':>10} {'time(s)':>10} {'mem(MB)':>10}",
+    ]
+    for run in sorted(runs, key=lambda r: r.lines):
+        canary = run.tools.get("canary")
+        if canary is None:
+            continue
+        lines.append(
+            f"{run.subject.index:>2} {run.subject.name:<14} "
+            f"{run.lines / 1000.0:>10.2f} {canary.seconds:>10.3f} "
+            f"{(canary.peak_mb or 0.0):>10.2f}"
+        )
+    if fits is not None:
+        time_fit, mem_fit = fits
+        lines.append("fit: " + time_fit.equation("KLoC", "time"))
+        lines.append("fit: " + mem_fit.equation("KLoC", "memory"))
+    return "\n".join(lines)
+
+
+def render_table1(runs: Sequence[SubjectRun]) -> str:
+    """Table 1: bug-hunting results — reports and FP rates per tool."""
+    header = (
+        f"{'#':>2} {'project':<14} {'lines':>7} "
+        f"{'Saber FP%':>10} {'Saber #R':>9} "
+        f"{'Fsam FP%':>9} {'Fsam #R':>8} "
+        f"{'Canary #FP':>11} {'Canary #R':>10}"
+    )
+    lines = ["Table 1 — results of bug hunting (NA = budget exceeded)", header]
+    totals = {"canary_r": 0, "canary_fp": 0, "saber_r": 0, "fsam_r": 0}
+    for run in runs:
+        saber = run.tools.get("saber")
+        fsam = run.tools.get("fsam")
+        canary = run.tools.get("canary")
+
+        def cell_rate(tool):
+            if tool is None or tool.timed_out:
+                return "NA"
+            rate = tool.fp_rate
+            return "—" if rate is None else f"{rate:.2f}%"
+
+        def cell_count(tool):
+            if tool is None or tool.timed_out:
+                return "NA"
+            return str(tool.reports)
+
+        if canary:
+            totals["canary_r"] += canary.reports or 0
+            totals["canary_fp"] += canary.false_positives
+        if saber and not saber.timed_out:
+            totals["saber_r"] += saber.reports or 0
+        if fsam and not fsam.timed_out:
+            totals["fsam_r"] += fsam.reports or 0
+        lines.append(
+            f"{run.subject.index:>2} {run.subject.name:<14} {run.lines:>7} "
+            f"{cell_rate(saber):>10} {cell_count(saber):>9} "
+            f"{cell_rate(fsam):>9} {cell_count(fsam):>8} "
+            f"{(str(canary.false_positives) if canary else 'NA'):>11} "
+            f"{cell_count(canary):>10}"
+        )
+    canary_rate = (
+        100.0 * totals["canary_fp"] / totals["canary_r"] if totals["canary_r"] else 0.0
+    )
+    lines.append(
+        f"totals: Canary {totals['canary_r']} reports, {totals['canary_fp']} FPs "
+        f"({canary_rate:.2f}% FP rate); Saber {totals['saber_r']} reports; "
+        f"Fsam {totals['fsam_r']} reports (completed subjects only)"
+    )
+    return "\n".join(lines)

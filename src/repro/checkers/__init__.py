@@ -1,0 +1,39 @@
+"""Inter-thread value-flow bug checkers (paper §5).
+
+All checkers instantiate the source–sink guarded-reachability template
+in :class:`repro.checkers.base.SourceSinkChecker`:
+
+* :class:`UseAfterFreeChecker` — the paper's headline property (§7.2);
+* :class:`DoubleFreeChecker`;
+* :class:`NullDerefChecker`;
+* :class:`TaintLeakChecker` — information leaks through shared memory.
+"""
+
+from .base import BugReport, SourceSinkChecker, SuppressedCandidate, UseIndex
+from .reporting import report_to_dict, report_to_json, report_to_sarif
+from .doublefree import DoubleFreeChecker
+from .leak import TaintLeakChecker
+from .nullderef import NullDerefChecker
+from .uaf import UseAfterFreeChecker
+
+ALL_CHECKERS = {
+    "use-after-free": UseAfterFreeChecker,
+    "double-free": DoubleFreeChecker,
+    "null-deref": NullDerefChecker,
+    "info-leak": TaintLeakChecker,
+}
+
+__all__ = [
+    "BugReport",
+    "SourceSinkChecker",
+    "SuppressedCandidate",
+    "UseIndex",
+    "report_to_dict",
+    "report_to_json",
+    "report_to_sarif",
+    "UseAfterFreeChecker",
+    "DoubleFreeChecker",
+    "NullDerefChecker",
+    "TaintLeakChecker",
+    "ALL_CHECKERS",
+]

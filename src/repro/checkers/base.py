@@ -1,0 +1,282 @@
+"""Source-sink checker framework (paper §5).
+
+A checker instantiates the guarded-reachability template: enumerate
+source nodes, search the VFG forward, match sink uses of the reached
+values, and keep only the paths the SMT solver proves realizable.  Bug
+reports carry the witness path and the constraints — the paper's
+"concise bug reports with a limited number of relevant statements".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..ir.instructions import (
+    FreeInst,
+    Instruction,
+    LoadInst,
+    SinkInst,
+    StoreInst,
+)
+from ..ir.values import Variable
+from ..smt.terms import BoolTerm
+from ..vfg.builder import VFGBundle
+from ..vfg.graph import DefNode, VFGNode
+from ..detection.realizability import PathQuery, RealizabilityChecker
+from ..detection.search import PathSearcher, SearchLimits, ValueFlowPath
+
+__all__ = ["BugReport", "SourceSinkChecker", "UseIndex"]
+
+
+@dataclass
+class SuppressedCandidate:
+    """A source→sink pair the solver proved unrealizable, with the reason
+    (``guard-contradiction`` vs ``order-violation``) — useful for triage
+    and for quantifying where Canary's precision comes from."""
+
+    kind: str
+    source: Instruction
+    sink: Instruction
+    reason: str
+
+    def describe(self) -> str:
+        return (
+            f"[suppressed {self.kind}] ℓ{self.source.label} -> ℓ{self.sink.label}"
+            f" ({self.reason})"
+        )
+
+
+@dataclass
+class BugReport:
+    """One confirmed (realizable) source→sink finding."""
+
+    kind: str
+    source: Instruction
+    sink: Instruction
+    path: str
+    inter_thread: bool
+    witness_order: Dict[str, int] = field(default_factory=dict)
+    #: the model's extern/atom assignments, for witness replay
+    witness_env: Dict[str, Dict] = field(default_factory=dict)
+    statements: List[Instruction] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [
+            f"[{self.kind}] {self.source.location} -> {self.sink.location}"
+            + ("  (inter-thread)" if self.inter_thread else ""),
+            f"  source: ℓ{self.source.label}: {self.source.brief()}",
+            f"  sink:   ℓ{self.sink.label}: {self.sink.brief()}",
+            f"  value flow: {self.path}",
+        ]
+        if self.witness_order:
+            order = sorted(self.witness_order.items(), key=lambda kv: kv[1])
+            lines.append(
+                "  witness interleaving: " + " < ".join(name for name, _v in order)
+            )
+        return "\n".join(lines)
+
+    @property
+    def key(self) -> Tuple[str, int, int]:
+        return (self.kind, self.source.label, self.sink.label)
+
+
+class UseIndex:
+    """Where each SSA variable is used as a pointer / as plain data."""
+
+    def __init__(self, bundle: VFGBundle) -> None:
+        self.pointer_uses: Dict[Variable, List[Instruction]] = {}
+        self.data_uses: Dict[Variable, List[Instruction]] = {}
+        for inst in bundle.module.all_instructions():
+            if isinstance(inst, LoadInst) and isinstance(inst.pointer, Variable):
+                self.pointer_uses.setdefault(inst.pointer, []).append(inst)
+            elif isinstance(inst, StoreInst):
+                if isinstance(inst.pointer, Variable):
+                    self.pointer_uses.setdefault(inst.pointer, []).append(inst)
+            elif isinstance(inst, FreeInst) and isinstance(inst.pointer, Variable):
+                self.pointer_uses.setdefault(inst.pointer, []).append(inst)
+            elif isinstance(inst, SinkInst):
+                for arg in inst.args:
+                    if isinstance(arg, Variable):
+                        self.data_uses.setdefault(arg, []).append(inst)
+
+
+class SourceSinkChecker:
+    """Template for guarded-reachability bug checking."""
+
+    kind: str = "generic"
+
+    def __init__(
+        self,
+        bundle: VFGBundle,
+        limits: SearchLimits = SearchLimits(),
+        realizability: Optional[RealizabilityChecker] = None,
+        inter_thread_only: bool = True,
+        max_reports_per_source: int = 8,
+        collect_suppressed: bool = False,
+        parallel_solving: bool = False,
+        solver_workers: int = 4,
+    ) -> None:
+        self.parallel_solving = parallel_solving
+        self.solver_workers = solver_workers
+        self.bundle = bundle
+        self.limits = limits
+        self.realizability = realizability or RealizabilityChecker(bundle)
+        self.inter_thread_only = inter_thread_only
+        self.max_reports_per_source = max_reports_per_source
+        self.collect_suppressed = collect_suppressed
+        self.suppressed: List[SuppressedCandidate] = []
+        self.uses = UseIndex(bundle)
+        self.statistics = {"sources": 0, "candidates": 0, "reports": 0}
+
+    # ----- subclass API -----------------------------------------------------
+
+    def sources(self) -> Iterable[Tuple[VFGNode, Instruction, BoolTerm]]:
+        """(origin node, source statement, alias guard) triples to search
+        from.  For object-rooted searches (UAF, double-free) the origin is
+        the freed object's node and the alias guard is the condition under
+        which the source statement actually touches that object."""
+        raise NotImplementedError
+
+    def sinks_at(
+        self, var: Variable, source_inst: Instruction
+    ) -> Iterable[Instruction]:
+        """Sink statements triggered by the value reaching ``var``."""
+        raise NotImplementedError
+
+    def extra_constraints(
+        self, source_inst: Instruction, sink_inst: Instruction
+    ) -> Tuple[BoolTerm, ...]:
+        return ()
+
+    def admit(self, source: Instruction, sink: Instruction, path: ValueFlowPath) -> bool:
+        """Property-specific pre-SMT filter.
+
+        "Inter-thread" means the defect involves more than one thread —
+        either the value flows across threads (an interference edge on
+        the path) or the source and sink statements can run in different
+        threads.  Whether the required *order* is feasible is decided by
+        the solver (Φ_po and the checker's extra order constraints), not
+        here: a free-then-join-then-use bug is ordered yet inter-thread.
+        """
+        if source is sink:
+            return False
+        if not self.inter_thread_only:
+            return True
+        if path.has_interference():
+            return True
+        threads_a = self.bundle.tcg.threads_of(source)
+        threads_b = self.bundle.tcg.threads_of(sink)
+        return any(a != b for a in threads_a for b in threads_b)
+
+    # ----- driver -----------------------------------------------------------
+
+    def run(self) -> List[BugReport]:
+        reports: List[BugReport] = []
+        reported_keys: Set[Tuple[str, int, int]] = set()
+        pending: List[PathQuery] = []
+        return_counts: Dict[int, int] = {}
+        searcher = PathSearcher(self.bundle, self.limits)
+        for origin, source_inst, alias_guard in self.sources():
+            self.statistics["sources"] += 1
+            found_here = 0
+
+            def on_node(node: VFGNode, path: ValueFlowPath) -> None:
+                nonlocal found_here
+                if found_here >= self.max_reports_per_source:
+                    return
+                if not isinstance(node, DefNode):
+                    return
+                for sink_inst in self.sinks_at(node.var, source_inst):
+                    key = (self.kind, source_inst.label, sink_inst.label)
+                    if key in reported_keys:
+                        continue
+                    if not self.admit(source_inst, sink_inst, path):
+                        continue
+                    self.statistics["candidates"] += 1
+                    query = PathQuery(
+                        path=ValueFlowPath(origin=path.origin, edges=list(path.edges)),
+                        source_inst=source_inst,
+                        sink_inst=sink_inst,
+                        extra_constraints=self.extra_constraints(
+                            source_inst, sink_inst
+                        ),
+                        alias_guard=alias_guard,
+                    )
+                    if self.parallel_solving:
+                        # Batch mode: defer SMT checking; remember the
+                        # first candidate path per (source, sink) pair,
+                        # bounding the batch per source.
+                        budget = 4 * self.max_reports_per_source
+                        if return_counts.get(source_inst.label, 0) >= budget:
+                            continue
+                        return_counts[source_inst.label] = (
+                            return_counts.get(source_inst.label, 0) + 1
+                        )
+                        reported_keys.add(key)
+                        pending.append(query)
+                        continue
+                    result = self.realizability.check(query)
+                    if not result.realizable:
+                        if self.collect_suppressed:
+                            key_s = (self.kind, source_inst.label, sink_inst.label, "s")
+                            if key_s not in reported_keys:
+                                reported_keys.add(key_s)
+                                self.suppressed.append(
+                                    SuppressedCandidate(
+                                        kind=self.kind,
+                                        source=source_inst,
+                                        sink=sink_inst,
+                                        reason=self.realizability.explain_refutation(
+                                            query
+                                        ),
+                                    )
+                                )
+                        continue
+                    reported_keys.add(key)
+                    found_here += 1
+                    reports.append(self._make_report(query, result))
+
+            searcher.search(origin, on_node)
+
+        if self.parallel_solving and pending:
+            # §5.2: path queries are mutually independent — decide them on
+            # a thread pool, then materialize reports in candidate order.
+            results = self.realizability.check_many(
+                pending, parallel=True, max_workers=self.solver_workers
+            )
+            per_source: Dict[int, int] = {}
+            for query, result in zip(pending, results):
+                source_label = query.source_inst.label
+                if result.realizable:
+                    if per_source.get(source_label, 0) >= self.max_reports_per_source:
+                        continue
+                    per_source[source_label] = per_source.get(source_label, 0) + 1
+                    reports.append(self._make_report(query, result))
+                elif self.collect_suppressed:
+                    self.suppressed.append(
+                        SuppressedCandidate(
+                            kind=self.kind,
+                            source=query.source_inst,
+                            sink=query.sink_inst,
+                            reason=self.realizability.explain_refutation(query),
+                        )
+                    )
+        self.statistics["reports"] += len(reports)
+        return reports
+
+    def _make_report(self, query: PathQuery, result) -> BugReport:
+        source_inst, sink_inst = query.source_inst, query.sink_inst
+        src_threads = self.bundle.tcg.threads_of(source_inst)
+        sink_threads = self.bundle.tcg.threads_of(sink_inst)
+        return BugReport(
+            kind=self.kind,
+            source=source_inst,
+            sink=sink_inst,
+            path=query.path.describe(self.bundle),
+            inter_thread=query.path.has_interference()
+            or any(a != b for a in src_threads for b in sink_threads),
+            witness_order=result.witness_order,
+            witness_env=result.witness_env,
+            statements=query.path.statements(self.bundle),
+        )

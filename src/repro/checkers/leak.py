@@ -1,0 +1,36 @@
+"""Inter-thread information-leak (taint) checker (paper §1, citing [21]).
+
+Source: ``x = taint_source()`` — a sensitive value.  Sink:
+``taint_sink(y)`` consuming any value the sensitive one flows to,
+including flows laundered through shared memory across threads (which is
+what DTAM-style dynamic taint analyses miss under unlucky schedules).
+Arithmetic edges propagate taint, so derived values are tracked too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..ir.instructions import Instruction, SinkInst, SourceInst
+from ..ir.values import Variable
+from ..smt.terms import TRUE, BoolTerm
+from ..vfg.graph import DefNode, VFGNode
+from .base import SourceSinkChecker
+
+__all__ = ["TaintLeakChecker"]
+
+
+class TaintLeakChecker(SourceSinkChecker):
+    kind = "info-leak"
+
+    def sources(self) -> Iterable[Tuple[VFGNode, Instruction, BoolTerm]]:
+        for inst in self.bundle.module.all_instructions():
+            if isinstance(inst, SourceInst) and inst.kind == "taint":
+                yield DefNode(inst.dst), inst, TRUE
+
+    def sinks_at(
+        self, var: Variable, source_inst: Instruction
+    ) -> Iterable[Instruction]:
+        for use in self.uses.data_uses.get(var, ()):
+            if isinstance(use, SinkInst) and use.kind == "taint_sink":
+                yield use

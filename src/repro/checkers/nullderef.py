@@ -1,0 +1,50 @@
+"""Inter-thread NULL-pointer-dereference checker (paper §1, citing [19]).
+
+Source: an occurrence of the ``null`` constant entering the value flow
+(a copy, a phi arm, or a store of ``null`` into shared memory).  Sink:
+a dereference (load/store/free) of any alias the null value reaches.
+The null must be able to *arrive* before the dereference — the 'load'
+edges' Φ_ls constraints already order the store(null) before the load,
+so no extra order constraint is needed beyond program order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..ir.instructions import (
+    CopyInst,
+    FreeInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    StoreInst,
+)
+from ..ir.values import NullConstant, Variable
+from ..smt.terms import TRUE, BoolTerm
+from ..vfg.graph import NullNode, VFGNode
+from .base import SourceSinkChecker
+
+__all__ = ["NullDerefChecker"]
+
+
+class NullDerefChecker(SourceSinkChecker):
+    kind = "null-deref"
+
+    def sources(self) -> Iterable[Tuple[VFGNode, Instruction, BoolTerm]]:
+        for inst in self.bundle.module.all_instructions():
+            if isinstance(inst, CopyInst) and isinstance(inst.src, NullConstant):
+                yield NullNode(inst), inst, TRUE
+            elif isinstance(inst, StoreInst) and isinstance(inst.value, NullConstant):
+                yield NullNode(inst), inst, TRUE
+            elif isinstance(inst, PhiInst) and any(
+                isinstance(v, NullConstant) for v, _g in inst.incomings
+            ):
+                yield NullNode(inst), inst, TRUE
+
+    def sinks_at(
+        self, var: Variable, source_inst: Instruction
+    ) -> Iterable[Instruction]:
+        for use in self.uses.pointer_uses.get(var, ()):
+            if isinstance(use, (LoadInst, StoreInst, FreeInst)):
+                yield use

@@ -1,0 +1,149 @@
+"""Report serialization: JSON and SARIF-style output.
+
+The paper emphasizes that value-flow paths give "concise bug reports
+with a limited number of relevant statements and conditions" — these
+serializers expose that structure to CI pipelines and IDEs (SARIF is the
+de-facto interchange format for static-analysis results).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Dict, Iterable, List
+
+from .base import BugReport
+
+if TYPE_CHECKING:  # avoid a circular import; only needed for typing
+    from ..analysis.driver import AnalysisReport
+
+__all__ = ["report_to_dict", "report_to_json", "report_to_sarif"]
+
+_RULE_DESCRIPTIONS = {
+    "use-after-free": "A freed heap object may be dereferenced by another thread.",
+    "double-free": "A heap object may be freed twice across threads.",
+    "null-deref": "A NULL value stored by one thread may be dereferenced by another.",
+    "info-leak": "A sensitive value may flow to a public sink through shared memory.",
+}
+
+
+def _bug_to_dict(bug: BugReport) -> Dict:
+    return {
+        "kind": bug.kind,
+        "inter_thread": bug.inter_thread,
+        "source": {
+            "label": bug.source.label,
+            "statement": bug.source.brief(),
+            "file": bug.source.location.filename,
+            "line": bug.source.location.line,
+            "column": bug.source.location.column,
+        },
+        "sink": {
+            "label": bug.sink.label,
+            "statement": bug.sink.brief(),
+            "file": bug.sink.location.filename,
+            "line": bug.sink.location.line,
+            "column": bug.sink.location.column,
+        },
+        "value_flow": bug.path,
+        "witness_interleaving": bug.witness_order,
+        "statements": [
+            {"label": s.label, "statement": s.brief(), "line": s.location.line}
+            for s in bug.statements
+        ],
+    }
+
+
+def report_to_dict(report: "AnalysisReport") -> Dict:
+    """The whole analysis result as a JSON-ready dictionary."""
+    return {
+        "tool": "canary-repro",
+        "bugs": [_bug_to_dict(b) for b in report.bugs],
+        "vfg": report.vfg_summary,
+        "timings_seconds": report.timings,
+        "solver": report.solver_statistics,
+    }
+
+
+def report_to_json(report: "AnalysisReport", indent: int = 2) -> str:
+    return json.dumps(report_to_dict(report), indent=indent, sort_keys=True)
+
+
+def report_to_sarif(report: "AnalysisReport") -> Dict:
+    """A minimal SARIF 2.1.0 log with one result per finding."""
+    kinds = sorted({b.kind for b in report.bugs} | set(_RULE_DESCRIPTIONS))
+    rules = [
+        {
+            "id": kind,
+            "shortDescription": {"text": _RULE_DESCRIPTIONS.get(kind, kind)},
+        }
+        for kind in kinds
+    ]
+    rule_index = {kind: i for i, kind in enumerate(kinds)}
+    results = []
+    for bug in report.bugs:
+        results.append(
+            {
+                "ruleId": bug.kind,
+                "ruleIndex": rule_index[bug.kind],
+                "level": "error",
+                "message": {
+                    "text": (
+                        f"{bug.kind}: value freed/defined at "
+                        f"{bug.source.location} reaches "
+                        f"{bug.sink.location}"
+                        + (" across threads" if bug.inter_thread else "")
+                    )
+                },
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": bug.sink.location.filename},
+                            "region": {
+                                "startLine": max(1, bug.sink.location.line),
+                                "startColumn": max(1, bug.sink.location.column),
+                            },
+                        }
+                    }
+                ],
+                "codeFlows": [
+                    {
+                        "threadFlows": [
+                            {
+                                "locations": [
+                                    {
+                                        "location": {
+                                            "physicalLocation": {
+                                                "artifactLocation": {
+                                                    "uri": s.location.filename
+                                                },
+                                                "region": {
+                                                    "startLine": max(1, s.location.line)
+                                                },
+                                            },
+                                            "message": {"text": s.brief()},
+                                        }
+                                    }
+                                    for s in bug.statements
+                                ]
+                            }
+                        ]
+                    }
+                ],
+            }
+        )
+    return {
+        "version": "2.1.0",
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "canary-repro",
+                        "informationUri": "https://doi.org/10.1145/3453483.3454099",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

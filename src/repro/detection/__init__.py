@@ -1,0 +1,16 @@
+"""Guarded reachability detection (paper §5, Fig. 1 right half)."""
+
+from .partial_order import OrderConstraintBuilder, order_var
+from .realizability import PathQuery, RealizabilityChecker, RealizabilityResult
+from .search import PathSearcher, SearchLimits, ValueFlowPath
+
+__all__ = [
+    "OrderConstraintBuilder",
+    "order_var",
+    "PathQuery",
+    "RealizabilityChecker",
+    "RealizabilityResult",
+    "PathSearcher",
+    "SearchLimits",
+    "ValueFlowPath",
+]

@@ -1,0 +1,185 @@
+"""Realizability checking of value-flow paths (paper §5.2).
+
+For a candidate source→sink path, assemble
+
+    Φ_all(π) = Φ_guards(π) ∧ Φ_ls(π) ∧ Φ_po(π) ∧ Φ_extra
+
+(Eq. 5 plus the checker-specific constraints such as ``O_free < O_use``)
+and decide it with the SMT solver.  SAT means the path corresponds to a
+feasible sequentially-consistent interleaving and the bug is reported,
+together with a *witness order* extracted from the model.
+
+Per the paper, path queries are mutually independent, so a thread pool
+can solve them in parallel; complex queries can fall back to
+cube-and-conquer splitting.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..ir.instructions import Instruction
+from ..smt.portfolio import cube_solve
+from ..smt.solver import SAT, UNKNOWN, UNSAT, Model, Solver
+from ..smt.terms import TRUE, BoolTerm, and_
+from ..vfg.builder import VFGBundle
+from .partial_order import OrderConstraintBuilder, order_var
+from .search import ValueFlowPath
+
+__all__ = ["PathQuery", "RealizabilityChecker", "RealizabilityResult"]
+
+
+@dataclass
+class PathQuery:
+    """One candidate bug: a path plus its endpoint statements.
+
+    ``alias_guard`` carries non-order side conditions (e.g. the freed
+    object's pointed-to-by guard); ``extra_constraints`` carry the
+    checker's order requirements (e.g. ``O_free < O_use``).  The split
+    lets :meth:`RealizabilityChecker.explain_refutation` attribute an
+    UNSAT verdict to guards vs. ordering.
+    """
+
+    path: ValueFlowPath
+    source_inst: Optional[Instruction]
+    sink_inst: Optional[Instruction]
+    extra_constraints: Tuple[BoolTerm, ...] = ()
+    alias_guard: BoolTerm = TRUE
+
+
+@dataclass
+class RealizabilityResult:
+    realizable: bool
+    verdict: str  # 'sat' | 'unsat' | 'unknown'
+    formula: BoolTerm = TRUE
+    witness_order: Dict[str, int] = field(default_factory=dict)
+    #: the model's non-order assignments, for witness replay:
+    #: {'ints': extern-name -> int, 'bools': atom-name -> bool}
+    witness_env: Dict[str, Dict] = field(default_factory=dict)
+
+
+class RealizabilityChecker:
+    """Assembles Φ_all and decides it."""
+
+    def __init__(
+        self,
+        bundle: VFGBundle,
+        use_cube_and_conquer: bool = False,
+        solver_max_conflicts: Optional[int] = 100_000,
+        order_constraints: bool = True,
+        lock_analysis=None,
+        memory_model: str = "sc",
+    ) -> None:
+        self.bundle = bundle
+        self.orders = OrderConstraintBuilder(
+            bundle, lock_analysis=lock_analysis, memory_model=memory_model
+        )
+        self.use_cube_and_conquer = use_cube_and_conquer
+        self.solver_max_conflicts = solver_max_conflicts
+        self.order_constraints = order_constraints
+        self.statistics = {"queries": 0, "sat": 0, "unsat": 0, "unknown": 0}
+
+    # ----- formula assembly -------------------------------------------------
+
+    def formula_for(self, query: PathQuery) -> BoolTerm:
+        parts: List[BoolTerm] = []
+        # Φ_guards: the aggregated guards along the path (Eq. 5) plus the
+        # endpoint statements' own path conditions.
+        mentioned: List[Instruction] = []
+        for edge in query.path.edges:
+            parts.append(edge.guard)
+            if edge.kind == "load" and self.order_constraints:
+                parts.append(self.orders.load_store_order(edge))  # Φ_ls
+                mentioned.extend(self.orders.interfering_stores(edge))
+        if query.source_inst is not None:
+            parts.append(query.source_inst.guard)
+        if query.sink_inst is not None:
+            parts.append(query.sink_inst.guard)
+        if self.order_constraints:
+            # Φ_po over every statement involved (Eq. 4).
+            statements = query.path.statements(self.bundle)
+            for endpoint in (query.source_inst, query.sink_inst):
+                if endpoint is not None:
+                    statements.append(endpoint)
+            parts.append(self.orders.program_order(statements))
+            # Lock/unlock extension: mutual exclusion over everything the
+            # formula mentions (path, endpoints, interfering stores).
+            parts.append(self.orders.mutex_exclusion(statements + mentioned))
+        parts.append(query.alias_guard)
+        parts.extend(query.extra_constraints)
+        return and_(*parts)
+
+    def guards_only_formula(self, query: PathQuery) -> BoolTerm:
+        """Only Φ_guards (edge guards + endpoint path conditions + alias
+        guard) — no Φ_ls, no Φ_po, no checker order constraints."""
+        parts: List[BoolTerm] = [query.alias_guard]
+        for edge in query.path.edges:
+            parts.append(edge.guard)
+        if query.source_inst is not None:
+            parts.append(query.source_inst.guard)
+        if query.sink_inst is not None:
+            parts.append(query.sink_inst.guard)
+        return and_(*parts)
+
+    def explain_refutation(self, query: PathQuery) -> str:
+        """Why was an unrealizable candidate refuted?
+
+        * ``'guard-contradiction'`` — the aggregated branch/alias guards
+          alone are UNSAT (the Fig. 2 class);
+        * ``'order-violation'`` — the guards are consistent but no total
+          order satisfies Φ_ls ∧ Φ_po plus the checker's requirements
+          (the Fig. 5(b) / fork-join class).
+        """
+        solver = Solver(max_conflicts=self.solver_max_conflicts)
+        solver.add(self.guards_only_formula(query))
+        if solver.check() is UNSAT:
+            return "guard-contradiction"
+        return "order-violation"
+
+    # ----- deciding ------------------------------------------------------------
+
+    def check(self, query: PathQuery) -> RealizabilityResult:
+        self.statistics["queries"] += 1
+        formula = self.formula_for(query)
+        if self.use_cube_and_conquer:
+            verdict = cube_solve(formula)
+            model = None
+        else:
+            solver = Solver(max_conflicts=self.solver_max_conflicts)
+            solver.add(formula)
+            verdict = solver.check()
+            model = solver.model()
+        if verdict is SAT:
+            self.statistics["sat"] += 1
+            witness = {}
+            witness_env: Dict[str, Dict] = {"ints": {}, "bools": {}}
+            if model is not None:
+                for name, value in model.order().items():
+                    if name.startswith("O") and name[1:].isdigit():
+                        # Statement order variables O<label>.
+                        witness[name] = value
+                    else:
+                        witness_env["ints"][name] = value
+                from ..smt.terms import BoolVar
+
+                for atom, truth in model.bool_assignments().items():
+                    if isinstance(atom, BoolVar):
+                        witness_env["bools"][atom.name] = truth
+            return RealizabilityResult(True, "sat", formula, witness, witness_env)
+        if verdict is UNSAT:
+            self.statistics["unsat"] += 1
+            return RealizabilityResult(False, "unsat", formula)
+        self.statistics["unknown"] += 1
+        # Budget exhausted: soundy choice — do not report (low FP bias).
+        return RealizabilityResult(False, "unknown", formula)
+
+    def check_many(
+        self, queries: Sequence[PathQuery], parallel: bool = False, max_workers: int = 4
+    ) -> List[RealizabilityResult]:
+        """Decide many independent path queries (§5.2: parallelizable)."""
+        if not parallel or len(queries) < 2:
+            return [self.check(q) for q in queries]
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(self.check, queries))

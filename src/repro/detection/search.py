@@ -1,0 +1,162 @@
+"""Source→sink value-flow path search over the guarded VFG (paper §5.1).
+
+Depth-first enumeration of value-flow paths from a source node, following
+data-dependence and interference-dependence edges.  Intra-thread
+context-sensitivity is kept by matching call/return edges against a
+context stack bounded by the configured nesting depth (the paper uses
+clone-based summaries with depth 6; CFL-style matching over one shared
+graph is the equivalent search-time formulation).
+
+The searcher is property-agnostic: checkers supply a ``visit`` callback
+that inspects each reached node (with the path so far) and decides
+whether a sink has been hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..ir.instructions import Instruction
+from ..ir.values import Variable
+from ..vfg.builder import VFGBundle
+from ..vfg.graph import DefNode, NullNode, ObjNode, StoreNode, VFGEdge, VFGNode
+
+__all__ = ["ValueFlowPath", "PathSearcher", "SearchLimits"]
+
+
+@dataclass(frozen=True)
+class SearchLimits:
+    """Bounds keeping the enumeration tractable (soundy, like the paper's
+    bounded unrolling and context depth)."""
+
+    max_depth: int = 40
+    max_paths_per_source: int = 512
+    max_visits: int = 200_000
+    context_depth: int = 6
+
+
+@dataclass
+class ValueFlowPath:
+    """A path ⟨v1@ℓ1, ..., vk@ℓk⟩: the edges traversed, in order."""
+
+    origin: VFGNode
+    edges: List[VFGEdge] = field(default_factory=list)
+
+    def nodes(self) -> List[VFGNode]:
+        out = [self.origin]
+        out.extend(e.dst for e in self.edges)
+        return out
+
+    def statements(self, bundle: VFGBundle) -> List[Instruction]:
+        """The program statements along the path (for Φ_po)."""
+        out: List[Instruction] = []
+        for node in self.nodes():
+            inst = node_statement(bundle, node)
+            if inst is not None:
+                out.append(inst)
+        return out
+
+    def has_interference(self) -> bool:
+        return any(e.interthread for e in self.edges)
+
+    def describe(self, bundle: VFGBundle) -> str:
+        parts = [f"{self.origin!r}"]
+        for edge in self.edges:
+            arrow = "⇢" if edge.interthread else "→"
+            parts.append(f"{arrow} {edge.dst!r}")
+        return " ".join(parts)
+
+
+#: def-site index: maps variables to their defining instruction
+def build_def_index(bundle: VFGBundle) -> Dict[Variable, Instruction]:
+    index: Dict[Variable, Instruction] = {}
+    for inst in bundle.module.all_instructions():
+        var = inst.defined_var()
+        if var is not None:
+            index[var] = inst
+    return index
+
+
+def node_statement(bundle: VFGBundle, node: VFGNode) -> Optional[Instruction]:
+    if isinstance(node, StoreNode):
+        return node.inst
+    if isinstance(node, NullNode):
+        return node.inst
+    if isinstance(node, DefNode):
+        return bundle.def_index.get(node.var)
+    return None
+
+
+class PathSearcher:
+    """DFS path enumeration with context-stack matching."""
+
+    def __init__(self, bundle: VFGBundle, limits: SearchLimits = SearchLimits()) -> None:
+        self.bundle = bundle
+        self.limits = limits
+        self.visits = 0
+        self.paths_emitted = 0
+
+    def search(
+        self,
+        origin: VFGNode,
+        on_node: Callable[[VFGNode, ValueFlowPath], None],
+    ) -> None:
+        """DFS from ``origin``; ``on_node`` fires for every node reached
+        (including the origin with an empty path)."""
+        self.visits = 0
+        self.paths_emitted = 0
+        path = ValueFlowPath(origin=origin)
+        on_node(origin, path)
+        self._dfs(origin, path, on_path_nodes={origin}, context=(), on_node=on_node)
+
+    def _dfs(
+        self,
+        node: VFGNode,
+        path: ValueFlowPath,
+        on_path_nodes: Set[VFGNode],
+        context: Tuple[int, ...],
+        on_node: Callable[[VFGNode, ValueFlowPath], None],
+    ) -> None:
+        if len(path.edges) >= self.limits.max_depth:
+            return
+        if self.visits >= self.limits.max_visits:
+            return
+        for edge in self.bundle.vfg.out_edges(node):
+            if edge.dst in on_path_nodes:
+                continue
+            new_context = self._step_context(edge, context)
+            if new_context is None:
+                continue
+            self.visits += 1
+            path.edges.append(edge)
+            on_path_nodes.add(edge.dst)
+            on_node(edge.dst, path)
+            self._dfs(edge.dst, path, on_path_nodes, new_context, on_node)
+            on_path_nodes.discard(edge.dst)
+            path.edges.pop()
+
+    _FORK_MARKER = -1
+
+    def _step_context(
+        self, edge: VFGEdge, context: Tuple[int, ...]
+    ) -> Optional[Tuple[int, ...]]:
+        """CFL-style context update; None = edge not admissible here."""
+        if edge.kind == "call":
+            if len(context) >= self.limits.context_depth:
+                return None
+            return context + (edge.callsite,)
+        if edge.kind == "forkarg":
+            if len(context) >= self.limits.context_depth:
+                return None
+            return context + (self._FORK_MARKER,)
+        if edge.kind == "ret":
+            if not context:
+                return ()  # unbalanced-up: returning out of the start scope
+            top = context[-1]
+            if top == self._FORK_MARKER:
+                return None  # a thread never returns into its forker
+            if top != edge.callsite:
+                return None  # mismatched call/return parenthesis
+            return context[:-1]
+        return context

@@ -1,0 +1,22 @@
+"""MiniCC frontend: lexer, AST, recursive-descent parser.
+
+MiniCC is the concrete syntax for the paper's Fig. 3 call-by-value
+language with pointers, dynamic allocation, structured control flow and
+fork/join concurrency.  See :mod:`repro.frontend.parser` for the grammar.
+"""
+
+from .ast_nodes import Program
+from .lexer import Token, tokenize
+from .parser import parse_program
+from .source import FrontendError, LexError, Location, ParseError
+
+__all__ = [
+    "Program",
+    "Token",
+    "tokenize",
+    "parse_program",
+    "FrontendError",
+    "LexError",
+    "Location",
+    "ParseError",
+]

@@ -1,0 +1,143 @@
+"""Lexer for MiniCC, the concurrent C-like input language.
+
+MiniCC is the concrete syntax for the paper's Fig. 3 language: functions,
+integers and pointers, ``malloc``/``free``, ``fork``/``join``,
+``lock``/``unlock``, branches and loops, and a handful of intrinsic
+source/sink operations used by the checkers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .source import LexError, Location
+
+__all__ = ["Token", "TokenKind", "tokenize", "KEYWORDS"]
+
+
+class TokenKind:
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "void",
+        "if",
+        "else",
+        "while",
+        "return",
+        "extern",
+        "null",
+        "struct",
+    }
+)
+
+_PUNCTS = [
+    "&&", "||", "==", "!=", "<=", ">=",
+    "{", "}", "(", ")", "[", "]", ";", ",",
+    "=", "<", ">", "+", "-", "*", "/", "%", "!", "&", ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    location: Location
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind == TokenKind.KEYWORD and self.text == text
+
+
+def tokenize(source: str, filename: str = "<input>") -> List[Token]:
+    """Tokenize MiniCC source text; raises :class:`LexError` on bad input."""
+    return list(_scan(source, filename))
+
+
+def _scan(source: str, filename: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def loc() -> Location:
+        return Location(line, col, filename)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", loc())
+            for c in source[i : end + 2]:
+                if c == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            continue
+        if ch.isdigit():
+            start, start_loc = i, loc()
+            while i < n and source[i].isdigit():
+                i += 1
+            col += i - start
+            yield Token(TokenKind.NUMBER, source[start:i], start_loc)
+            continue
+        if ch.isalpha() or ch == "_":
+            start, start_loc = i, loc()
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            col += i - start
+            text = source[start:i]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            yield Token(kind, text, start_loc)
+            continue
+        if ch == '"':
+            start_loc = loc()
+            j = i + 1
+            while j < n and source[j] != '"':
+                if source[j] == "\n":
+                    raise LexError("unterminated string literal", start_loc)
+                j += 1
+            if j >= n:
+                raise LexError("unterminated string literal", start_loc)
+            text = source[i + 1 : j]
+            col += j + 1 - i
+            i = j + 1
+            yield Token(TokenKind.STRING, text, start_loc)
+            continue
+        matched = False
+        for p in _PUNCTS:
+            if source.startswith(p, i):
+                yield Token(TokenKind.PUNCT, p, loc())
+                i += len(p)
+                col += len(p)
+                matched = True
+                break
+        if not matched:
+            raise LexError(f"unexpected character {ch!r}", loc())
+    yield Token(TokenKind.EOF, "", loc())

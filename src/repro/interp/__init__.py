@@ -1,0 +1,28 @@
+"""Concrete interpreter + witness replay (dynamic bug confirmation).
+
+A small dynamic-analysis substrate: it executes the lowered IR under the
+SMT model's environment and the bug report's witness interleaving, and
+checks that the reported violation actually fires — the executable
+counterpart of the paper's manual report confirmation (§7.3).
+"""
+
+from .confirm import ConfirmationResult, confirm_all, confirm_bug
+from .interpreter import Environment, ExecutionResult, Interpreter
+from .state import Cell, RuntimeValue, ThreadState, Violation
+from .testing import DynamicTestingResult, dynamic_test, random_environment
+
+__all__ = [
+    "ConfirmationResult",
+    "confirm_all",
+    "confirm_bug",
+    "DynamicTestingResult",
+    "dynamic_test",
+    "random_environment",
+    "Environment",
+    "ExecutionResult",
+    "Interpreter",
+    "Cell",
+    "RuntimeValue",
+    "ThreadState",
+    "Violation",
+]

@@ -1,0 +1,578 @@
+"""Concrete interpreter for lowered MiniCC modules.
+
+Executes the guarded straight-line IR under a *symbolic environment*
+(extern values + opaque branch-atom assignments, typically taken from an
+SMT model) and an optional *schedule* (a total order over statement
+labels, typically a bug report's witness interleaving).  Instruction
+guards are evaluated against the environment — the same assignment the
+solver used — so a replay follows exactly the control-flow paths the
+witness assumed, while the memory effects are fully concrete.
+
+The interpreter dynamically detects the four properties the checkers
+report (use-after-free, double-free, NULL dereference, information
+leak), which lets :mod:`repro.interp.confirm` validate static reports by
+replaying their witnesses — the executable analogue of the paper's
+manual bug confirmation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir.instructions import (
+    AddrOfInst,
+    AllocInst,
+    BinOpInst,
+    CallInst,
+    CmpInst,
+    CopyInst,
+    ForkInst,
+    FreeInst,
+    Instruction,
+    JoinInst,
+    LoadInst,
+    LockInst,
+    PhiInst,
+    ReturnInst,
+    SinkInst,
+    SourceInst,
+    StoreInst,
+    UnlockInst,
+)
+from ..ir.module import IRModule
+from ..ir.values import (
+    FunctionRef,
+    IntConstant,
+    MemObject,
+    NullConstant,
+    SymbolicConstant,
+    Value,
+    Variable,
+)
+from ..smt.terms import And, BoolConst, BoolTerm, BoolVar, Eq, Le, Lt, Not, Or
+from .state import NULL_VALUE, Cell, RuntimeValue, ThreadState, Violation
+
+__all__ = ["Environment", "Interpreter", "ExecutionResult"]
+
+_MAX_CALL_DEPTH = 32
+
+
+@dataclass
+class Environment:
+    """The symbolic inputs of a run: extern integers and opaque booleans
+    (keyed by the atom names the lowering generates)."""
+
+    externs: Dict[str, int] = field(default_factory=dict)
+    bools: Dict[str, bool] = field(default_factory=dict)
+    default_bool: bool = False
+
+    def int_value(self, name: str) -> int:
+        return self.externs.get(name, 0)
+
+    def bool_value(self, name: str) -> bool:
+        return self.bools.get(name, self.default_bool)
+
+
+@dataclass
+class ExecutionResult:
+    violations: List[Violation]
+    steps: int
+    output: List[str]
+    completed: bool
+
+    def violations_of(self, kind: str) -> List[Violation]:
+        return [v for v in self.violations if v.kind == kind]
+
+
+class Interpreter:
+    """One concrete execution of a module (create fresh per run)."""
+
+    def __init__(self, module: IRModule, env: Optional[Environment] = None) -> None:
+        self.module = module
+        self.env = env or Environment()
+        self.violations: List[Violation] = []
+        self.output: List[str] = []
+        self.globals: Dict[MemObject, Cell] = {}
+        self.threads: List[ThreadState] = []
+        self._thread_by_name: Dict[Tuple[str, str], ThreadState] = {}
+        self._blocked: Dict[str, Tuple[str, str]] = {}  # tid -> awaited key
+        self.steps = 0
+        self._tid_counter = 0
+
+    # ----- guard evaluation -------------------------------------------------
+
+    def eval_guard(self, term: BoolTerm) -> bool:
+        if isinstance(term, BoolConst):
+            return term.value
+        if isinstance(term, BoolVar):
+            return self.env.bool_value(term.name)
+        if isinstance(term, Not):
+            return not self.eval_guard(term.arg)
+        if isinstance(term, And):
+            return all(self.eval_guard(a) for a in term.args)
+        if isinstance(term, Or):
+            return any(self.eval_guard(a) for a in term.args)
+        if isinstance(term, (Le, Lt, Eq)):
+            lhs = self._eval_int_term(term.lhs)
+            rhs = self._eval_int_term(term.rhs)
+            if isinstance(term, Le):
+                return lhs <= rhs
+            if isinstance(term, Lt):
+                return lhs < rhs
+            return lhs == rhs
+        return self.env.default_bool
+
+    def _eval_int_term(self, term) -> int:
+        from ..smt.terms import Add, IntConst, IntVar, Sub
+
+        if isinstance(term, IntConst):
+            return term.value
+        if isinstance(term, IntVar):
+            return self.env.int_value(term.name)
+        if isinstance(term, Add):
+            return self._eval_int_term(term.lhs) + self._eval_int_term(term.rhs)
+        if isinstance(term, Sub):
+            return self._eval_int_term(term.lhs) - self._eval_int_term(term.rhs)
+        return 0
+
+    # ----- values -------------------------------------------------------------
+
+    def _value_of(self, value: Value, frame_env: Dict[Variable, RuntimeValue]) -> RuntimeValue:
+        if isinstance(value, IntConstant):
+            return RuntimeValue(integer=value.value)
+        if isinstance(value, NullConstant):
+            return NULL_VALUE
+        if isinstance(value, SymbolicConstant):
+            return RuntimeValue(integer=self.env.int_value(value.name))
+        if isinstance(value, FunctionRef):
+            return RuntimeValue(func=value.name)
+        if isinstance(value, Variable):
+            return frame_env.get(value, RuntimeValue(integer=0))
+        return RuntimeValue(integer=0)
+
+    # ----- thread / frame machinery -------------------------------------------
+
+    def _spawn(self, entry: str, args: List[RuntimeValue], tid: Optional[str] = None) -> ThreadState:
+        func = self.module.functions[entry]
+        frame_env: Dict[Variable, RuntimeValue] = {}
+        for formal, actual in zip(func.params, args):
+            frame_env[formal] = actual
+        if tid is None:
+            self._tid_counter += 1
+            tid = f"t{self._tid_counter}"
+        thread = ThreadState(tid=tid, frames=[[entry, 0, frame_env, None, {}]])
+        self.threads.append(thread)
+        return thread
+
+    def _runnable(self, thread: ThreadState) -> bool:
+        if thread.finished:
+            return False
+        key = self._blocked.get(thread.tid)
+        if key is None:
+            return True
+        target = self._thread_by_name.get(key)
+        if target is None or target.finished:
+            del self._blocked[thread.tid]
+            return True
+        return False
+
+    def _next_instruction(self, thread: ThreadState) -> Optional[Instruction]:
+        """The next guard-enabled instruction the thread will execute
+        (skipping disabled ones), or None if the thread will finish."""
+        while thread.frames:
+            fname, pc, _env, _dst, _cells = thread.frames[-1]
+            body = self.module.functions[fname].body
+            while pc < len(body):
+                inst = body[pc]
+                if self.eval_guard(inst.guard):
+                    thread.frames[-1][1] = pc
+                    return inst
+                pc += 1
+            # frame exhausted: return to caller
+            self._pop_frame(thread, value=None)
+        thread.finished = True
+        return None
+
+    def _pop_frame(self, thread: ThreadState, value: Optional[RuntimeValue]) -> None:
+        frame = thread.frames.pop()
+        dst = frame[3]
+        if thread.frames and dst is not None:
+            caller_env = thread.frames[-1][2]
+            caller_env[dst] = value if value is not None else RuntimeValue(integer=0)
+        if thread.frames:
+            thread.frames[-1][1] += 1  # advance past the call
+        if not thread.frames:
+            thread.finished = True
+
+    # ----- stepping --------------------------------------------------------------
+
+    def step(self, thread: ThreadState) -> Optional[Instruction]:
+        """Execute the thread's next enabled instruction.  Returns it, or
+        None when the thread finished / is blocked."""
+        if not self._runnable(thread):
+            return None
+        inst = self._next_instruction(thread)
+        if inst is None:
+            return None
+        fname, pc, frame_env, _dst, cells = thread.frames[-1]
+        self.steps += 1
+        advanced = self._execute(inst, thread, frame_env, cells)
+        if advanced:
+            thread.frames[-1][1] += 1
+        return inst
+
+    def _execute(
+        self,
+        inst: Instruction,
+        thread: ThreadState,
+        env: Dict[Variable, RuntimeValue],
+        cells: Dict[MemObject, Cell],
+    ) -> bool:
+        """Execute one instruction; returns False when the pc was managed
+        explicitly (calls, returns)."""
+        if isinstance(inst, AllocInst):
+            env[inst.dst] = RuntimeValue(pointer=Cell(origin=f"ℓ{inst.label}"))
+        elif isinstance(inst, AddrOfInst):
+            cell = self._slot_cell(inst.obj, cells)
+            env[inst.dst] = RuntimeValue(pointer=cell)
+        elif isinstance(inst, CopyInst):
+            env[inst.dst] = self._value_of(inst.src, env)
+        elif isinstance(inst, PhiInst):
+            chosen = None
+            for value, sel in inst.incomings:
+                if self.eval_guard(sel):
+                    chosen = value
+                    break
+            if chosen is None and inst.incomings:
+                chosen = inst.incomings[0][0]
+            env[inst.dst] = (
+                self._value_of(chosen, env) if chosen is not None else NULL_VALUE
+            )
+        elif isinstance(inst, (BinOpInst, CmpInst)):
+            env[inst.dst] = self._arith(inst, env)
+        elif isinstance(inst, LoadInst):
+            ptr = self._value_of(inst.pointer, env)
+            cell = self._deref(ptr, inst, "load")
+            if cell is not None:
+                env[inst.dst] = cell.value if cell.value is not None else RuntimeValue(integer=0)
+            else:
+                env[inst.dst] = RuntimeValue(integer=0)
+        elif isinstance(inst, StoreInst):
+            ptr = self._value_of(inst.pointer, env)
+            cell = self._deref(ptr, inst, "store")
+            if cell is not None:
+                cell.value = self._value_of(inst.value, env)
+        elif isinstance(inst, FreeInst):
+            ptr = self._value_of(inst.pointer, env)
+            if ptr.pointer is not None:
+                cell = ptr.pointer
+                if cell.freed:
+                    self.violations.append(
+                        Violation(
+                            "double-free",
+                            inst.label,
+                            f"{cell!r} first freed at ℓ{cell.freed_by}",
+                        )
+                    )
+                else:
+                    cell.freed = True
+                    cell.freed_by = inst.label
+        elif isinstance(inst, CallInst):
+            return self._call(inst, thread, env)
+        elif isinstance(inst, ReturnInst):
+            value = (
+                self._value_of(inst.value, env) if inst.value is not None else None
+            )
+            self._pop_frame(thread, value)
+            return False
+        elif isinstance(inst, ForkInst):
+            callee_name = self._callee_name(inst.callee, env)
+            if callee_name is not None and callee_name in self.module.functions:
+                args = [self._value_of(a, env) for a in inst.args]
+                child = self._spawn(callee_name, args)
+                self._thread_by_name[(thread.tid, inst.thread)] = child
+                if getattr(self, "_eager_children", False):
+                    # "Serialize children first" schedule: the child runs
+                    # to completion at its fork point.
+                    guard_steps = 0
+                    while not child.finished and guard_steps < 10_000:
+                        guard_steps += 1
+                        if self.step(child) is None and not child.finished:
+                            break  # blocked inside the child: give up
+        elif isinstance(inst, JoinInst):
+            key = (thread.tid, inst.thread)
+            target = self._thread_by_name.get(key)
+            if target is not None and not target.finished:
+                self._blocked[thread.tid] = key
+                return False  # retry the join later
+        elif isinstance(inst, SourceInst):
+            if inst.kind == "taint":
+                env[inst.dst] = RuntimeValue(integer=1, tainted=True)
+            else:  # nondet: consistent with the guard atom b!<name>
+                truth = self.env.bool_value(f"b!{inst.dst.name}")
+                env[inst.dst] = RuntimeValue(integer=1 if truth else 0)
+        elif isinstance(inst, SinkInst):
+            values = [self._value_of(a, env) for a in inst.args]
+            if inst.kind == "taint_sink" and any(v.tainted for v in values):
+                self.violations.append(
+                    Violation("info-leak", inst.label, "tainted value reached sink")
+                )
+            elif inst.kind == "print":
+                self.output.append(" ".join(repr(v) for v in values))
+        elif isinstance(inst, (LockInst, UnlockInst)):
+            pass  # mutual exclusion honored by the schedule, not enforced here
+        return True
+
+    def _slot_cell(self, obj: MemObject, cells: Dict[MemObject, Cell]) -> Cell:
+        if obj.kind == "global":
+            store = self.globals
+        else:
+            store = cells
+        cell = store.get(obj)
+        if cell is None:
+            cell = Cell(origin=repr(obj))
+            store[obj] = cell
+        return cell
+
+    def _deref(self, ptr: RuntimeValue, inst: Instruction, op: str) -> Optional[Cell]:
+        if ptr.pointer is None:
+            if ptr.is_null:
+                self.violations.append(
+                    Violation("null-deref", inst.label, f"{op} through NULL")
+                )
+            return None
+        cell = ptr.pointer
+        if cell.freed:
+            self.violations.append(
+                Violation(
+                    "use-after-free",
+                    inst.label,
+                    f"{op} of {cell!r} freed at ℓ{cell.freed_by}",
+                )
+            )
+        return cell
+
+    def _arith(self, inst, env) -> RuntimeValue:
+        lhs = self._value_of(inst.lhs, env)
+        rhs = self._value_of(inst.rhs, env)
+        tainted = lhs.tainted or rhs.tainted
+        a = lhs.integer if lhs.integer is not None else (lhs.pointer.uid if lhs.pointer else 0)
+        b = rhs.integer if rhs.integer is not None else (rhs.pointer.uid if rhs.pointer else 0)
+        if isinstance(inst, CmpInst):
+            op = inst.op
+            result = {
+                "<": a < b,
+                "<=": a <= b,
+                ">": a > b,
+                ">=": a >= b,
+                "==": a == b,
+                "!=": a != b,
+            }[op]
+            return RuntimeValue(integer=1 if result else 0, tainted=tainted)
+        op = inst.op
+        try:
+            result = {
+                "+": a + b,
+                "-": a - b,
+                "*": a * b,
+                "/": a // b if b else 0,
+                "%": a % b if b else 0,
+            }[op]
+        except KeyError:
+            result = 0
+        # Pointer arithmetic keeps pointing at the same (monolithic) cell.
+        if lhs.pointer is not None and op in ("+", "-"):
+            return RuntimeValue(pointer=lhs.pointer, tainted=tainted)
+        return RuntimeValue(integer=result, tainted=tainted)
+
+    def _callee_name(self, callee: Value, env) -> Optional[str]:
+        if isinstance(callee, FunctionRef):
+            return callee.name
+        if isinstance(callee, Variable):
+            value = env.get(callee)
+            if value is not None and getattr(value, "func", None):
+                return value.func
+        return None
+
+    def _call(self, inst: CallInst, thread: ThreadState, env) -> bool:
+        if len(thread.frames) >= _MAX_CALL_DEPTH:
+            if inst.dst is not None:
+                env[inst.dst] = RuntimeValue(integer=0)
+            return True
+        name = self._callee_name(inst.callee, env)
+        func = self.module.functions.get(name) if name else None
+        if func is None:
+            if inst.dst is not None:
+                env[inst.dst] = RuntimeValue(integer=0)
+            return True
+        frame_env: Dict[Variable, RuntimeValue] = {}
+        for formal, actual in zip(func.params, inst.args):
+            frame_env[formal] = self._value_of(actual, env)
+        thread.frames.append([name, 0, frame_env, inst.dst, {}])
+        return False
+
+    # ----- scheduling ---------------------------------------------------------
+
+    def run(
+        self,
+        entry_args: Sequence[RuntimeValue] = (),
+        schedule: Optional[Sequence[int]] = None,
+        max_steps: int = 100_000,
+        prefer_children: bool = False,
+        eager_children: bool = False,
+    ) -> ExecutionResult:
+        """Execute from the module entry.
+
+        ``schedule`` is a total order over statement labels (the witness
+        interleaving): the scheduler drives whichever thread owns the
+        next scheduled label up to (and through) it, then falls back to
+        round-robin until every thread finishes.
+        """
+        self._prefer_children = prefer_children
+        self._eager_children = eager_children
+        main = self._spawn(self.module.entry, list(entry_args), tid="main")
+        anchors = list(schedule or [])
+        anchor_idx = 0
+        anchor_budget = 0
+        _ANCHOR_RETRIES = 4096
+        while self.steps < max_steps:
+            # Phase 1: drive the next anchor, if any thread will reach it.
+            if anchor_idx < len(anchors):
+                label = anchors[anchor_idx]
+                if anchor_budget > _ANCHOR_RETRIES:
+                    anchor_idx += 1
+                    anchor_budget = 0
+                    continue
+                owner = self._owner_of(label)
+                if owner is None:
+                    # The owning thread may not have been forked yet: let
+                    # some thread make progress and retry this anchor.
+                    anchor_budget += 1
+                    if not self._step_any():
+                        anchor_idx += 1  # truly unreachable (guard off)
+                        anchor_budget = 0
+                    continue
+                executed = self.step(owner)
+                if executed is None:
+                    # blocked on a join: let others run
+                    anchor_budget += 1
+                    if not self._step_any(exclude=owner):
+                        anchor_idx += 1
+                        anchor_budget = 0
+                    continue
+                if executed.label == label:
+                    anchor_idx += 1
+                    anchor_budget = 0
+                continue
+            # Phase 2: round-robin to completion.
+            if not self._step_any():
+                break
+        completed = all(t.finished for t in self.threads)
+        return ExecutionResult(
+            violations=self.violations,
+            steps=self.steps,
+            output=self.output,
+            completed=completed,
+        )
+
+    def run_random(
+        self,
+        seed: int,
+        entry_args: Sequence[RuntimeValue] = (),
+        max_steps: int = 50_000,
+    ) -> ExecutionResult:
+        """Execute under a uniformly random scheduler (seeded).
+
+        This is the dynamic-testing baseline the paper's introduction
+        argues against: each run exercises *one* interleaving, so
+        low-probability races need many trials to surface.
+        """
+        import random as _random
+
+        rng = _random.Random(seed)
+        self._spawn(self.module.entry, list(entry_args), tid="main")
+        while self.steps < max_steps:
+            runnable = [t for t in self.threads if self._runnable(t)]
+            if not runnable:
+                break
+            thread = rng.choice(runnable)
+            was_finished = thread.finished
+            if self.step(thread) is None and not thread.finished and not was_finished:
+                # blocked mid-join: other threads continue
+                continue
+        completed = all(t.finished for t in self.threads)
+        return ExecutionResult(
+            violations=self.violations,
+            steps=self.steps,
+            output=self.output,
+            completed=completed,
+        )
+
+    def _step_any(self, exclude: Optional[ThreadState] = None) -> bool:
+        for thread in self.threads:
+            if thread is exclude:
+                continue
+            if not self._runnable(thread):
+                continue
+            was_finished = thread.finished
+            if self.step(thread) is not None:
+                return True
+            if thread.finished and not was_finished:
+                # Retiring a thread is progress too: it may unblock joins.
+                return True
+        return False
+
+    def _owner_of(self, label: int) -> Optional[ThreadState]:
+        """The live thread whose pending instruction stream contains the
+        label.  A label inside a function shared by several threads is
+        ambiguous; ``prefer_children`` breaks ties toward the most
+        recently spawned thread (useful when the witness's action belongs
+        to a worker rather than main)."""
+        candidates = list(self.threads)
+        if getattr(self, "_prefer_children", False):
+            candidates = list(reversed(candidates))
+        for thread in candidates:
+            if thread.finished:
+                continue
+            for frame in thread.frames:
+                fname, pc = frame[0], frame[1]
+                body = self.module.functions[fname].body
+                for inst in body[pc:]:
+                    if inst.label == label:
+                        return thread
+        # Fall back: a thread that can still call into the label's function.
+        try:
+            func_name = self.module.function_of(self.module.instruction_at(label))
+        except KeyError:
+            return None
+        for thread in candidates:
+            if thread.finished:
+                continue
+            if any(frame[0] == func_name for frame in thread.frames):
+                return thread
+        for thread in candidates:
+            if not thread.finished and self._reaches_function(thread, func_name):
+                return thread
+        return None
+
+    def _reaches_function(self, thread: ThreadState, func_name: str) -> bool:
+        if not thread.frames:
+            return False
+        seen: Set[str] = set()
+        stack = [thread.frames[-1][0]]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            if name == func_name:
+                return True
+            func = self.module.functions.get(name)
+            if func is None:
+                continue
+            for inst in func.body:
+                if isinstance(inst, CallInst):
+                    if isinstance(inst.callee, FunctionRef):
+                        stack.append(inst.callee.name)
+        return False

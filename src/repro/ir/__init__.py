@@ -1,0 +1,76 @@
+"""Partial-SSA intermediate representation (paper §3.1).
+
+Top-level variables (:class:`~repro.ir.values.Variable`) are in SSA form;
+address-taken variables (:class:`~repro.ir.values.MemObject`) are accessed
+only through :class:`~repro.ir.instructions.LoadInst` /
+:class:`~repro.ir.instructions.StoreInst`, the only operations that can be
+shared between threads.  Function bodies are guarded straight-line
+instruction lists (see :mod:`repro.ir.instructions`).
+"""
+
+from .instructions import (
+    AddrOfInst,
+    AllocInst,
+    BinOpInst,
+    CallInst,
+    CmpInst,
+    CopyInst,
+    ForkInst,
+    FreeInst,
+    Instruction,
+    JoinInst,
+    LoadInst,
+    LockInst,
+    PhiInst,
+    ReturnInst,
+    SinkInst,
+    SourceInst,
+    StoreInst,
+    UnlockInst,
+)
+from .module import IRFunction, IRModule
+from .verifier import VerificationError, VerificationReport, verify_module
+from .values import (
+    NULL,
+    FunctionRef,
+    IntConstant,
+    MemObject,
+    NullConstant,
+    SymbolicConstant,
+    Value,
+    Variable,
+)
+
+__all__ = [
+    "AddrOfInst",
+    "AllocInst",
+    "BinOpInst",
+    "CallInst",
+    "CmpInst",
+    "CopyInst",
+    "ForkInst",
+    "FreeInst",
+    "Instruction",
+    "JoinInst",
+    "LoadInst",
+    "LockInst",
+    "PhiInst",
+    "ReturnInst",
+    "SinkInst",
+    "SourceInst",
+    "StoreInst",
+    "UnlockInst",
+    "IRFunction",
+    "IRModule",
+    "VerificationError",
+    "VerificationReport",
+    "verify_module",
+    "NULL",
+    "FunctionRef",
+    "IntConstant",
+    "MemObject",
+    "NullConstant",
+    "SymbolicConstant",
+    "Value",
+    "Variable",
+]

@@ -1,0 +1,291 @@
+"""IR instructions.
+
+After bounding (loop unrolling) and lowering, every function body is a
+*guarded straight-line form*: an ordered instruction list in which each
+instruction carries its path condition (``guard``) as an SMT term.  For
+bounded structured programs this form is equivalent to the CFG the paper
+walks in reverse post-order — branching is encoded in the guards, and
+textual order is a linearization of control flow (an instruction ℓ1 can
+reach ℓ2 intra-procedurally only if ℓ1 precedes ℓ2 and their guards are
+jointly satisfiable).
+
+Labels ``ℓ`` are globally unique integers assigned by the module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..frontend.source import Location
+from ..smt.terms import TRUE, BoolTerm
+from .values import MemObject, Value, Variable
+
+__all__ = [
+    "Instruction",
+    "AllocInst",
+    "AddrOfInst",
+    "CopyInst",
+    "PhiInst",
+    "BinOpInst",
+    "CmpInst",
+    "LoadInst",
+    "StoreInst",
+    "CallInst",
+    "ReturnInst",
+    "ForkInst",
+    "JoinInst",
+    "FreeInst",
+    "LockInst",
+    "UnlockInst",
+    "SourceInst",
+    "SinkInst",
+]
+
+
+@dataclass(eq=False)
+class Instruction:
+    """Base class.  ``label`` is the paper's ℓ; ``guard`` its path condition."""
+
+    label: int
+    guard: BoolTerm
+    location: Location
+
+    def defined_var(self) -> Optional[Variable]:
+        """The top-level variable this instruction defines, if any."""
+        return getattr(self, "dst", None)
+
+    def used_values(self) -> Sequence[Value]:
+        """Operand values (for liveness/visitors)."""
+        return ()
+
+    def brief(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"ℓ{self.label}: {self.brief()}"
+
+
+@dataclass(eq=False)
+class AllocInst(Instruction):
+    """``p = malloc()`` — p points to a fresh heap object."""
+
+    dst: Variable
+    obj: MemObject
+
+    def brief(self) -> str:
+        return f"{self.dst!r} = alloc {self.obj!r}"
+
+
+@dataclass(eq=False)
+class AddrOfInst(Instruction):
+    """``p = &x`` — p points to the (address-taken) stack/global slot of x."""
+
+    dst: Variable
+    obj: MemObject
+
+    def brief(self) -> str:
+        return f"{self.dst!r} = addrof {self.obj!r}"
+
+
+@dataclass(eq=False)
+class CopyInst(Instruction):
+    """``p = q``"""
+
+    dst: Variable
+    src: Value
+
+    def used_values(self):
+        return (self.src,)
+
+    def brief(self) -> str:
+        return f"{self.dst!r} = {self.src!r}"
+
+
+@dataclass(eq=False)
+class PhiInst(Instruction):
+    """SSA merge at a structured join: ``dst = phi((v1, g1), (v2, g2), ...)``.
+
+    Each incoming pair gives the merged value and the condition under
+    which it is selected (the branch condition, not the full path guard).
+    """
+
+    dst: Variable
+    incomings: List[Tuple[Value, BoolTerm]]
+
+    def used_values(self):
+        return tuple(v for v, _ in self.incomings)
+
+    def brief(self) -> str:
+        inc = ", ".join(f"({v!r}, {g.pretty()})" for v, g in self.incomings)
+        return f"{self.dst!r} = phi {inc}"
+
+
+@dataclass(eq=False)
+class BinOpInst(Instruction):
+    """``p = a op b`` for arithmetic/logical ops."""
+
+    dst: Variable
+    op: str
+    lhs: Value
+    rhs: Value
+
+    def used_values(self):
+        return (self.lhs, self.rhs)
+
+    def brief(self) -> str:
+        return f"{self.dst!r} = {self.lhs!r} {self.op} {self.rhs!r}"
+
+
+@dataclass(eq=False)
+class CmpInst(Instruction):
+    """``p = a cmp b`` producing a boolean-as-int."""
+
+    dst: Variable
+    op: str  # '<' '<=' '>' '>=' '==' '!='
+    lhs: Value
+    rhs: Value
+
+    def used_values(self):
+        return (self.lhs, self.rhs)
+
+    def brief(self) -> str:
+        return f"{self.dst!r} = {self.lhs!r} {self.op} {self.rhs!r}"
+
+
+@dataclass(eq=False)
+class LoadInst(Instruction):
+    """``p = *y`` — the only way to read shared memory (paper §3.1)."""
+
+    dst: Variable
+    pointer: Value
+
+    def used_values(self):
+        return (self.pointer,)
+
+    def brief(self) -> str:
+        return f"{self.dst!r} = load {self.pointer!r}"
+
+
+@dataclass(eq=False)
+class StoreInst(Instruction):
+    """``*x = q`` — the only way to write shared memory (paper §3.1)."""
+
+    pointer: Value
+    value: Value
+
+    def used_values(self):
+        return (self.pointer, self.value)
+
+    def brief(self) -> str:
+        return f"store {self.value!r} -> {self.pointer!r}"
+
+
+@dataclass(eq=False)
+class CallInst(Instruction):
+    """``x = call f(v1, ..., vn)``; ``callee`` is a name or a Variable
+    holding a function pointer."""
+
+    dst: Optional[Variable]
+    callee: Value  # FunctionRef or Variable
+    args: List[Value]
+
+    def used_values(self):
+        return (self.callee, *self.args)
+
+    def brief(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        prefix = f"{self.dst!r} = " if self.dst is not None else ""
+        return f"{prefix}call {self.callee!r}({args})"
+
+
+@dataclass(eq=False)
+class ReturnInst(Instruction):
+    value: Optional[Value]
+
+    def used_values(self):
+        return (self.value,) if self.value is not None else ()
+
+    def brief(self) -> str:
+        return f"return {self.value!r}" if self.value is not None else "return"
+
+
+@dataclass(eq=False)
+class ForkInst(Instruction):
+    """``fork(t, f, args...)`` — spawn thread ``t`` running ``f``."""
+
+    thread: str
+    callee: Value  # FunctionRef or Variable (function pointer)
+    args: List[Value]
+
+    def used_values(self):
+        return (self.callee, *self.args)
+
+    def brief(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        return f"fork {self.thread} -> {self.callee!r}({args})"
+
+
+@dataclass(eq=False)
+class JoinInst(Instruction):
+    thread: str
+
+    def brief(self) -> str:
+        return f"join {self.thread}"
+
+
+@dataclass(eq=False)
+class FreeInst(Instruction):
+    """``free(p)`` — the UAF/double-free *source* statement."""
+
+    pointer: Value
+
+    def used_values(self):
+        return (self.pointer,)
+
+    def brief(self) -> str:
+        return f"free {self.pointer!r}"
+
+
+@dataclass(eq=False)
+class LockInst(Instruction):
+    mutex: str
+
+    def brief(self) -> str:
+        return f"lock {self.mutex}"
+
+
+@dataclass(eq=False)
+class UnlockInst(Instruction):
+    mutex: str
+
+    def brief(self) -> str:
+        return f"unlock {self.mutex}"
+
+
+@dataclass(eq=False)
+class SourceInst(Instruction):
+    """An intrinsic producing a checker-relevant value:
+    ``nondet()`` (opaque int) or ``taint_source()`` (tainted value)."""
+
+    dst: Variable
+    kind: str  # 'nondet' | 'taint'
+
+    def brief(self) -> str:
+        return f"{self.dst!r} = {self.kind}()"
+
+
+@dataclass(eq=False)
+class SinkInst(Instruction):
+    """An intrinsic consuming values: ``print(v)`` (a use/sink) or
+    ``taint_sink(v)`` (information-leak sink)."""
+
+    kind: str  # 'print' | 'taint_sink'
+    args: List[Value]
+
+    def used_values(self):
+        return tuple(self.args)
+
+    def brief(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        return f"{self.kind}({args})"

@@ -1,0 +1,137 @@
+"""IR well-formedness verifier.
+
+Checks the invariants the analyses rely on.  Run after lowering (and in
+tests) to catch frontend regressions early — the analyses themselves
+assume these hold and do not re-check:
+
+* SSA: every top-level variable has at most one defining instruction;
+* uses follow defs in the (linearized) program order, or are parameters
+  / synthetic inputs;
+* labels are globally unique and registered with the module;
+* guards are boolean terms; a guard that is syntactically FALSE marks
+  dead code the lowering should not have emitted;
+* loads/stores take pointer-typed operands (variables or synthetic),
+  never raw integers;
+* every ``fork``/``join`` thread name is locally consistent (a join
+  without any fork of that name is suspicious, though legal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ..smt.terms import BoolTerm, FALSE
+from .instructions import (
+    ForkInst,
+    Instruction,
+    JoinInst,
+    LoadInst,
+    StoreInst,
+)
+from .module import IRModule
+from .values import IntConstant, Variable
+
+__all__ = ["VerificationError", "VerificationReport", "verify_module"]
+
+
+class VerificationError(Exception):
+    """Raised by :func:`verify_module` with ``strict=True``."""
+
+
+@dataclass
+class VerificationReport:
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def describe(self) -> str:
+        lines = []
+        for e in self.errors:
+            lines.append(f"error: {e}")
+        for w in self.warnings:
+            lines.append(f"warning: {w}")
+        return "\n".join(lines) or "ok"
+
+
+def verify_module(module: IRModule, strict: bool = False) -> VerificationReport:
+    """Check module invariants; optionally raise on the first failure."""
+    report = VerificationReport()
+
+    seen_labels: Set[int] = set()
+    defined: Dict[Variable, int] = {}
+
+    # Pass 1: definitions and labels.
+    for func in module.functions.values():
+        for param in func.params:
+            defined.setdefault(param, -1)
+        for inst in func.body:
+            if inst.label in seen_labels:
+                report.errors.append(f"duplicate label ℓ{inst.label} in {func.name}")
+            seen_labels.add(inst.label)
+            try:
+                registered = module.instruction_at(inst.label)
+                if registered is not inst:
+                    report.errors.append(
+                        f"label ℓ{inst.label} registered to a different instruction"
+                    )
+            except KeyError:
+                report.errors.append(f"label ℓ{inst.label} not registered")
+            var = inst.defined_var()
+            if var is not None:
+                if var in defined:
+                    report.errors.append(
+                        f"SSA violation: {var!r} redefined at ℓ{inst.label}"
+                    )
+                defined[var] = inst.label
+            if not isinstance(inst.guard, BoolTerm):
+                report.errors.append(f"non-boolean guard at ℓ{inst.label}")
+            elif inst.guard is FALSE:
+                report.warnings.append(f"dead instruction (FALSE guard) at ℓ{inst.label}")
+
+    # Pass 2: uses, pointer operands, thread names.
+    for func in module.functions.values():
+        local_defs: Dict[Variable, int] = {p: -1 for p in func.params}
+        forked: Set[str] = set()
+        for inst in func.body:
+            for value in inst.used_values():
+                if isinstance(value, Variable):
+                    def_label = defined.get(value)
+                    if def_label is None:
+                        # Synthetic inputs (formal initial values) and
+                        # opaque uninitialized reads have no def: warn.
+                        report.warnings.append(
+                            f"use of def-less {value!r} at ℓ{inst.label}"
+                        )
+                    elif def_label >= 0 and def_label > inst.label:
+                        same_func = any(
+                            i.label == def_label for i in func.body
+                        )
+                        if same_func:
+                            report.errors.append(
+                                f"use before def: {value!r} used at ℓ{inst.label}, "
+                                f"defined at ℓ{def_label}"
+                            )
+            if isinstance(inst, (LoadInst, StoreInst)):
+                pointer = inst.pointer
+                if isinstance(pointer, IntConstant):
+                    report.errors.append(
+                        f"integer used as pointer at ℓ{inst.label}"
+                    )
+            if isinstance(inst, ForkInst):
+                forked.add(inst.thread)
+            elif isinstance(inst, JoinInst) and inst.thread not in forked:
+                report.warnings.append(
+                    f"join of {inst.thread!r} at ℓ{inst.label} without a "
+                    f"preceding fork in {func.name}"
+                )
+            var = inst.defined_var()
+            if var is not None:
+                local_defs[var] = inst.label
+
+    if strict and report.errors:
+        raise VerificationError("; ".join(report.errors))
+    return report

@@ -1,0 +1,6 @@
+"""AST-to-IR lowering: bounded unrolling + guarded partial-SSA construction."""
+
+from .lower import LoweringError, lower_program
+from .unroll import DEFAULT_UNROLL_DEPTH, unroll_loops
+
+__all__ = ["LoweringError", "lower_program", "DEFAULT_UNROLL_DEPTH", "unroll_loops"]

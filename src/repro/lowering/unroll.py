@@ -1,0 +1,78 @@
+"""Bounded program construction: AST-level loop unrolling.
+
+The paper (§3.1, §6) gains decidability by "structurally bounding the
+concurrent programs by unrolling both loops and recursive functions to a
+finite depth" — loops are unrolled twice in Canary's implementation.
+``unroll_loops`` rewrites every ``while (c) B`` into nested
+``if (c) { B ... }`` blocks of the configured depth; iterations beyond
+the bound are not explored (a soundiness choice, as in the paper).
+
+Recursive calls are bounded later, at summary-application time
+(:mod:`repro.vfg.dataflow` cuts call chains at the context depth).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List
+
+from ..frontend import ast_nodes as A
+
+__all__ = ["unroll_loops", "DEFAULT_UNROLL_DEPTH"]
+
+DEFAULT_UNROLL_DEPTH = 2
+
+
+def unroll_loops(program: A.Program, depth: int = DEFAULT_UNROLL_DEPTH) -> A.Program:
+    """Return a copy of ``program`` with every while-loop unrolled ``depth``
+    times.  The input AST is not modified."""
+    if depth < 1:
+        raise ValueError("unroll depth must be at least 1")
+    out = copy.deepcopy(program)
+    for func in out.functions:
+        func.body = _unroll_block(func.body, depth)
+    return out
+
+
+def _unroll_block(block: A.BlockStmt, depth: int) -> A.BlockStmt:
+    return A.BlockStmt(location=block.location, body=[_unroll_stmt(s, depth) for s in block.body])
+
+
+def _unroll_stmt(stmt: A.Stmt, depth: int) -> A.Stmt:
+    if isinstance(stmt, A.WhileStmt):
+        return _unroll_while(stmt, depth)
+    if isinstance(stmt, A.IfStmt):
+        return A.IfStmt(
+            location=stmt.location,
+            cond=stmt.cond,
+            then_body=_unroll_block(stmt.then_body, depth),
+            else_body=_unroll_block(stmt.else_body, depth) if stmt.else_body else None,
+        )
+    if isinstance(stmt, A.BlockStmt):
+        return _unroll_block(stmt, depth)
+    return stmt
+
+
+def _unroll_while(stmt: A.WhileStmt, depth: int) -> A.Stmt:
+    """``while (c) B``  =>  ``if (c) { B' if (c) { B' ... } }`` (depth deep).
+
+    Each unrolled iteration gets a *fresh deep copy* of the body so that
+    the lowering assigns distinct labels (and SSA names) per iteration —
+    a fork inside a loop therefore yields one thread per unrolled
+    iteration, which is how the paper's bounding "indirectly fixes the
+    number of threads".
+    """
+    inner: A.Stmt | None = None
+    for _ in range(depth):
+        body_copy = _unroll_block(copy.deepcopy(stmt.body), depth)
+        stmts: List[A.Stmt] = list(body_copy.body)
+        if inner is not None:
+            stmts.append(inner)
+        inner = A.IfStmt(
+            location=stmt.location,
+            cond=copy.deepcopy(stmt.cond),
+            then_body=A.BlockStmt(location=stmt.location, body=stmts),
+            else_body=None,
+        )
+    assert inner is not None
+    return inner

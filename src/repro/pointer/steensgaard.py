@@ -1,0 +1,197 @@
+"""Steensgaard's unification-based points-to analysis.
+
+The paper (§6) uses Steensgaard's almost-linear-time analysis to resolve
+function pointers when building the *thread call graph*, because fork
+targets are often passed as function pointers and a flow-insensitive
+analysis suffices for call-graph construction (citing [25, 44, 59]).
+
+The implementation is the classic union-find formulation: each value has
+an equivalence class; every class has one points-to successor class; a
+store/load unifies through the successor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from ..ir.instructions import (
+    AddrOfInst,
+    AllocInst,
+    CallInst,
+    CopyInst,
+    ForkInst,
+    LoadInst,
+    PhiInst,
+    StoreInst,
+)
+from ..ir.module import IRModule
+from ..ir.values import FunctionRef, MemObject, Value, Variable
+
+__all__ = ["SteensgaardResult", "steensgaard"]
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self._parent: Dict[int, int] = {}
+        self._items: Dict[int, object] = {}
+        self._next = 0
+        self._of: Dict[object, int] = {}
+        # class representative -> pointee class (the single Steensgaard successor)
+        self.pointee: Dict[int, int] = {}
+        # class representative -> contents (objects / function refs in the class)
+        self.contents: Dict[int, Set[object]] = {}
+
+    def node(self, item: object) -> int:
+        idx = self._of.get(item)
+        if idx is None:
+            idx = self._next
+            self._next += 1
+            self._of[item] = idx
+            self._parent[idx] = idx
+            self.contents[idx] = set()
+            if isinstance(item, (MemObject, FunctionRef)):
+                self.contents[idx].add(item)
+        return idx
+
+    def find(self, idx: int) -> int:
+        root = idx
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[idx] != root:
+            self._parent[idx], idx = root, self._parent[idx]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        self._parent[rb] = ra
+        self.contents[ra] |= self.contents.pop(rb, set())
+        pa, pb = self.pointee.get(ra), self.pointee.pop(rb, None)
+        if pa is not None and pb is not None:
+            merged = self.union(pa, pb)
+            self.pointee[self.find(ra)] = self.find(merged)
+        elif pb is not None:
+            self.pointee[ra] = pb
+        return self.find(ra)
+
+    def points_to_class(self, idx: int) -> int:
+        """The pointee class of ``idx``'s class, created on demand."""
+        root = self.find(idx)
+        succ = self.pointee.get(root)
+        if succ is None:
+            succ = self.node(("$pointee", root))
+            self.pointee[root] = succ
+        return self.find(succ)
+
+
+class SteensgaardResult:
+    """Query interface over the computed equivalence classes."""
+
+    def __init__(self, uf: _UnionFind) -> None:
+        self._uf = uf
+
+    def points_to(self, value: Value) -> FrozenSet[object]:
+        """Objects and function refs the value may point to."""
+        idx = self._uf._of.get(value)
+        if idx is None:
+            return frozenset()
+        pointee = self._uf.pointee.get(self._uf.find(idx))
+        if pointee is None:
+            return frozenset()
+        return frozenset(self._uf.contents.get(self._uf.find(pointee), ()))
+
+    def callees(self, value: Value) -> FrozenSet[str]:
+        """Function names a call/fork through ``value`` may target."""
+        if isinstance(value, FunctionRef):
+            return frozenset({value.name})
+        return frozenset(
+            item.name for item in self.points_to(value) if isinstance(item, FunctionRef)
+        )
+
+    def may_alias(self, a: Value, b: Value) -> bool:
+        pa, pb = self.points_to(a), self.points_to(b)
+        if not pa or not pb:
+            ia = self._uf._of.get(a)
+            ib = self._uf._of.get(b)
+            if ia is None or ib is None:
+                return False
+            ra = self._uf.find(self._uf.points_to_class(ia))
+            rb = self._uf.find(self._uf.points_to_class(ib))
+            return ra == rb
+        return bool(pa & pb)
+
+
+def steensgaard(module: IRModule) -> SteensgaardResult:
+    """Run Steensgaard's analysis over a lowered module.
+
+    One pass over all instructions with union-find; inter-procedural
+    assignments (arguments, returns, fork parameters) unify directly,
+    which is what makes the result sound for call-graph construction
+    even before call targets are known (a second pass closes over
+    indirect calls discovered in the first).
+    """
+    uf = _UnionFind()
+
+    def assign(dst: Value, src: Value) -> None:
+        """``dst = src``: a FunctionRef behaves like ``&f`` (dst points to
+        the function); other values unify whole classes (a sound, standard
+        strengthening of the pointee-join rule)."""
+        if isinstance(src, FunctionRef):
+            uf.union(uf.points_to_class(uf.node(dst)), uf.node(src))
+        elif isinstance(src, Variable):
+            uf.union(uf.node(dst), uf.node(src))
+
+    def process_instructions() -> None:
+        for func in module.functions.values():
+            for inst in func.body:
+                if isinstance(inst, (AllocInst, AddrOfInst)):
+                    # dst points to obj: obj joins dst's pointee class.
+                    pointee = uf.points_to_class(uf.node(inst.dst))
+                    uf.union(pointee, uf.node(inst.obj))
+                elif isinstance(inst, CopyInst):
+                    assign(inst.dst, inst.src)
+                elif isinstance(inst, PhiInst):
+                    for value, _guard in inst.incomings:
+                        assign(inst.dst, value)
+                elif isinstance(inst, LoadInst):
+                    # dst = *p:  pt([dst]) ∪= pt(pt([p]))
+                    cell = uf.points_to_class(uf.points_to_class(uf.node(inst.pointer)))
+                    uf.union(uf.points_to_class(uf.node(inst.dst)), cell)
+                elif isinstance(inst, StoreInst):
+                    # *p = v:  pt(pt([p])) ∪= pt([v]); a FunctionRef value
+                    # lands *inside* the cell class (like storing &f).
+                    cell = uf.points_to_class(uf.points_to_class(uf.node(inst.pointer)))
+                    if isinstance(inst.value, FunctionRef):
+                        uf.union(cell, uf.node(inst.value))
+                    elif isinstance(inst.value, Variable):
+                        uf.union(cell, uf.points_to_class(uf.node(inst.value)))
+                elif isinstance(inst, (CallInst, ForkInst)):
+                    _process_call(inst)
+
+    def _process_call(inst) -> None:
+        result = SteensgaardResult(uf)
+        callee_names = result.callees(inst.callee)
+        for name in callee_names:
+            callee = module.functions.get(name)
+            if callee is None:
+                continue
+            for formal, actual in zip(callee.params, inst.args):
+                assign(formal, actual)
+            if isinstance(inst, CallInst) and inst.dst is not None:
+                for value, _guard in callee.returns:
+                    assign(inst.dst, value)
+
+    # Iterate to a fixed point: resolving indirect calls can expose new
+    # parameter unifications (bounded by the number of classes, so this
+    # terminates quickly in practice).
+    for _ in range(4):
+        before = uf._next, len(uf._parent), _class_signature(uf)
+        process_instructions()
+        if (uf._next, len(uf._parent), _class_signature(uf)) == before:
+            break
+    return SteensgaardResult(uf)
+
+
+def _class_signature(uf: _UnionFind) -> int:
+    return hash(tuple(sorted(uf.find(i) for i in range(uf._next))))

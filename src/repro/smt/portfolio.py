@@ -1,0 +1,92 @@
+"""Cube-and-conquer constraint splitting (paper §5.2, third optimization).
+
+For complex realizability queries Canary splits the formula on a few
+high-impact atoms into *cubes* (partial assignments) and solves the cubes
+independently — the paper cites Heule et al.'s cube-and-conquer strategy.
+Cubes are embarrassingly parallel; here they run on a thread pool (the
+per-path independence argued in §5.2 also lets the bug checking stage run
+paths in parallel, see :mod:`repro.detection.realizability`).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from .solver import SAT, UNKNOWN, UNSAT, Model, Result, Solver
+from .terms import And, BoolTerm, BoolVar, Eq, Le, Lt, Not, Or, and_, not_
+
+__all__ = ["pick_split_atoms", "cube_solve"]
+
+
+def _collect_atoms(term: BoolTerm, counts: dict) -> None:
+    """Count atom *occurrences*; compound subterms are visited once (they
+    are interned, so a repeated subterm contributes its atoms once — but
+    an atom referenced from several distinct parents counts each time)."""
+    stack = [term]
+    seen_compound = set()
+    while stack:
+        t = stack.pop()
+        if isinstance(t, (BoolVar, Le, Lt, Eq)):
+            counts[t] = counts.get(t, 0) + 1
+            continue
+        if t in seen_compound:
+            continue
+        seen_compound.add(t)
+        if isinstance(t, Not):
+            stack.append(t.arg)
+        elif isinstance(t, (And, Or)):
+            stack.extend(t.args)
+
+
+def pick_split_atoms(term: BoolTerm, k: int = 2) -> List[BoolTerm]:
+    """Choose up to ``k`` atoms to split on: the most frequently occurring
+    atoms, which prune the most when fixed (a simple lookahead proxy)."""
+    counts: dict = {}
+    _collect_atoms(term, counts)
+    ranked = sorted(counts, key=lambda a: -counts[a])
+    return ranked[:k]
+
+
+def _cubes(atoms: Sequence[BoolTerm]) -> Iterable[List[BoolTerm]]:
+    if not atoms:
+        yield []
+        return
+    for rest in _cubes(atoms[1:]):
+        yield [atoms[0]] + rest
+        yield [not_(atoms[0])] + rest
+
+
+def cube_solve(
+    term: BoolTerm,
+    split_atoms: Optional[Sequence[BoolTerm]] = None,
+    max_workers: int = 4,
+    solver_factory: Callable[[], Solver] = Solver,
+) -> Result:
+    """Decide ``term`` by splitting into cubes solved in parallel.
+
+    SAT if any cube is SAT; UNSAT if all cubes are UNSAT; UNKNOWN if any
+    cube exhausted its budget and no cube was SAT.
+    """
+    if split_atoms is None:
+        split_atoms = pick_split_atoms(term)
+    if not split_atoms:
+        solver = solver_factory()
+        solver.add(term)
+        return solver.check()
+
+    def solve_cube(cube: List[BoolTerm]) -> Result:
+        solver = solver_factory()
+        solver.add(term, *cube)
+        return solver.check()
+
+    results: List[Result] = []
+    cubes = list(_cubes(list(split_atoms)))
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        for result in pool.map(solve_cube, cubes):
+            if result is SAT:
+                return SAT
+            results.append(result)
+    if any(r is UNKNOWN for r in results):
+        return UNKNOWN
+    return UNSAT

@@ -1,0 +1,287 @@
+"""CDCL SAT solver.
+
+A self-contained conflict-driven clause-learning solver with the standard
+modern ingredients: two-watched-literal propagation, first-UIP conflict
+analysis, VSIDS-style variable activity, phase saving, and Luby restarts.
+It is the propositional engine underneath the lazy DPLL(T) loop in
+:mod:`repro.smt.solver`.
+
+Clauses may be added between :meth:`SatSolver.solve` calls (the DPLL(T)
+loop adds theory blocking clauses this way); the solver always returns to
+decision level zero before yielding control.
+
+Literals follow the DIMACS convention: variable ``v`` is the positive
+integer ``v`` and its negation is ``-v``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["SatSolver", "SAT", "UNSAT", "UNKNOWN"]
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence."""
+    k = 1
+    while (1 << (k + 1)) - 1 <= i:
+        k += 1
+    while True:
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
+        k = 1
+        while (1 << (k + 1)) - 1 <= i:
+            k += 1
+
+
+class _Clause:
+    __slots__ = ("lits", "learnt")
+
+    def __init__(self, lits: List[int], learnt: bool = False) -> None:
+        self.lits = lits
+        self.learnt = learnt
+
+
+class SatSolver:
+    """CDCL solver over clauses added with :meth:`add_clause`."""
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._watches: Dict[int, List[_Clause]] = {}
+        self._assign: List[int] = []  # var-1 -> 0 unassigned, +1 true, -1 false
+        self._level: List[int] = []
+        self._reason: List[Optional[_Clause]] = []
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._prop_head = 0
+        self._activity: List[float] = []
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._phase: List[bool] = []
+        self._ok = True
+        self.model: Dict[int, bool] = {}
+        self.conflicts = 0
+
+    # ----- variable / clause management -------------------------------
+
+    def ensure_var(self, v: int) -> None:
+        while self._num_vars < v:
+            self._num_vars += 1
+            self._assign.append(0)
+            self._level.append(-1)
+            self._reason.append(None)
+            self._activity.append(0.0)
+            self._phase.append(False)
+            self._watches[self._num_vars] = []
+            self._watches[-self._num_vars] = []
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause; returns False if the instance became trivially UNSAT.
+
+        Must be called at decision level zero (which holds whenever the
+        solver is not inside :meth:`solve`).
+        """
+        if not self._ok:
+            return False
+        assert not self._trail_lim, "clauses must be added at level 0"
+        seen = set()
+        out: List[int] = []
+        for lit in lits:
+            self.ensure_var(abs(lit))
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            val = self._value(lit)
+            if val == 1:
+                return True  # already satisfied at root
+            if val == -1:
+                continue  # falsified at root: drop literal
+            seen.add(lit)
+            out.append(lit)
+        if not out:
+            self._ok = False
+            return False
+        if len(out) == 1:
+            if not self._enqueue(out[0], None) or self._propagate() is not None:
+                self._ok = False
+                return False
+            return True
+        clause = _Clause(out)
+        self._attach(clause)
+        return True
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[-clause.lits[0]].append(clause)
+        self._watches[-clause.lits[1]].append(clause)
+
+    # ----- assignment primitives --------------------------------------
+
+    def _value(self, lit: int) -> int:
+        v = self._assign[abs(lit) - 1]
+        return v if lit > 0 else -v
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+        val = self._value(lit)
+        if val == 1:
+            return True
+        if val == -1:
+            return False
+        idx = abs(lit) - 1
+        self._assign[idx] = 1 if lit > 0 else -1
+        self._level[idx] = self._decision_level()
+        self._reason[idx] = reason
+        self._phase[idx] = lit > 0
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._prop_head < len(self._trail):
+            lit = self._trail[self._prop_head]
+            self._prop_head += 1
+            watchers = self._watches[lit]
+            i = 0
+            while i < len(watchers):
+                clause = watchers[i]
+                lits = clause.lits
+                if lits[0] == -lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                if self._value(lits[0]) == 1:
+                    i += 1
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) != -1:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches[-lits[1]].append(clause)
+                        watchers[i] = watchers[-1]
+                        watchers.pop()
+                        moved = True
+                        break
+                if moved:
+                    continue
+                if not self._enqueue(lits[0], clause):
+                    self._prop_head = len(self._trail)
+                    return clause
+                i += 1
+        return None
+
+    # ----- conflict analysis -------------------------------------------
+
+    def _bump_var(self, v: int) -> None:
+        self._activity[v - 1] += self._var_inc
+        if self._activity[v - 1] > 1e100:
+            self._activity = [a * 1e-100 for a in self._activity]
+            self._var_inc *= 1e-100
+
+    def _analyze(self, conflict: _Clause) -> tuple[List[int], int]:
+        """First-UIP conflict analysis: (learnt clause, backtrack level)."""
+        level = self._decision_level()
+        seen = [False] * self._num_vars
+        learnt: List[int] = []
+        counter = 0
+        p: Optional[int] = None
+        reason_lits = conflict.lits
+        idx = len(self._trail) - 1
+        while True:
+            for q in reason_lits:
+                if p is not None and q == p:
+                    continue
+                vq = abs(q) - 1
+                if not seen[vq] and self._level[vq] > 0:
+                    seen[vq] = True
+                    self._bump_var(abs(q))
+                    if self._level[vq] >= level:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[abs(self._trail[idx]) - 1]:
+                idx -= 1
+            p = self._trail[idx]
+            idx -= 1
+            seen[abs(p) - 1] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason_lits = self._reason[abs(p) - 1].lits
+        learnt.insert(0, -p)
+        if len(learnt) == 1:
+            return learnt, 0
+        max_i = max(range(1, len(learnt)), key=lambda i: self._level[abs(learnt[i]) - 1])
+        learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+        return learnt, self._level[abs(learnt[1]) - 1]
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        bound = self._trail_lim[level]
+        for lit in reversed(self._trail[bound:]):
+            idx = abs(lit) - 1
+            self._assign[idx] = 0
+            self._reason[idx] = None
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._prop_head = min(self._prop_head, len(self._trail))
+
+    # ----- search -------------------------------------------------------
+
+    def _pick_branch_var(self) -> int:
+        best, best_act = 0, -1.0
+        for v in range(1, self._num_vars + 1):
+            if self._assign[v - 1] == 0 and self._activity[v - 1] > best_act:
+                best, best_act = v, self._activity[v - 1]
+        return best
+
+    def solve(self, max_conflicts: Optional[int] = None) -> str:
+        """Run CDCL search to completion (or the conflict budget)."""
+        if not self._ok:
+            return UNSAT
+        conflicts_here = 0
+        restart_idx = 1
+        restart_budget = 32 * _luby(restart_idx)
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if self._decision_level() == 0:
+                    self._ok = False
+                    return UNSAT
+                learnt, bt = self._analyze(conflict)
+                self._backtrack(bt)
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self._ok = False
+                        return UNSAT
+                else:
+                    clause = _Clause(learnt, learnt=True)
+                    self._attach(clause)
+                    self._enqueue(learnt[0], clause)
+                self._var_inc /= self._var_decay
+                if max_conflicts is not None and conflicts_here >= max_conflicts:
+                    self._backtrack(0)
+                    return UNKNOWN
+                if conflicts_here >= restart_budget:
+                    restart_idx += 1
+                    restart_budget = conflicts_here + 32 * _luby(restart_idx)
+                    self._backtrack(0)
+                continue
+            var = self._pick_branch_var()
+            if var == 0:
+                self.model = {
+                    v: self._assign[v - 1] == 1 for v in range(1, self._num_vars + 1)
+                }
+                self._backtrack(0)
+                return SAT
+            self._trail_lim.append(len(self._trail))
+            lit = var if self._phase[var - 1] else -var
+            self._enqueue(lit, None)

@@ -1,0 +1,93 @@
+"""Lightweight semi-decision procedures (paper §5.2, first optimization).
+
+Canary filters guard conjunctions with cheap syntactic checks *before*
+invoking the full SMT solver, "to filter out conditions having any
+apparent contradictions" — this keeps the expensive solver off the
+obviously-infeasible edges during VFG construction.  The procedures here
+are sound but incomplete: :func:`quick_unsat` returning ``True`` means
+definitely unsatisfiable; ``False`` means "don't know".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .terms import And, BoolTerm, FALSE, Le, Lt, Eq, Not, TRUE, conjuncts
+from .theory import DifferenceBound, ZERO_NAME, negate_bound, normalize_atom
+
+__all__ = ["quick_unsat", "simplify_conjunction"]
+
+
+def _literal_bounds(lit: BoolTerm) -> Optional[List[DifferenceBound]]:
+    """Difference bounds entailed by one literal, or None if non-arithmetic."""
+    negated = isinstance(lit, Not)
+    atom = lit.arg if negated else lit
+    if not isinstance(atom, (Le, Lt, Eq)):
+        return None
+    try:
+        bounds = normalize_atom(atom)
+    except ValueError:
+        return None
+    if bounds is None:
+        return None
+    if not negated:
+        return bounds
+    if isinstance(atom, Eq):
+        return None  # not(a == b) is a disjunction: out of scope for the quick check
+    return [negate_bound(bounds[0])]
+
+
+def quick_unsat(term: BoolTerm) -> bool:
+    """Cheap sufficient test for unsatisfiability of a guard.
+
+    Detects (1) complementary boolean literals in the top-level
+    conjunction (the ``theta and not theta`` pattern of the paper's
+    Fig. 2) and (2) negative cycles among the conjunction's difference
+    bounds (contradictory order constraints, paper Ex. 5.1).
+    """
+    if term is FALSE:
+        return True
+    if term is TRUE:
+        return False
+    lits = list(conjuncts(term))
+    lit_set = set(lits)
+    arith: List[DifferenceBound] = []
+    for lit in lits:
+        if isinstance(lit, Not) and lit.arg in lit_set:
+            return True
+        bounds = _literal_bounds(lit)
+        if bounds is not None:
+            arith.extend(bounds)
+    if arith:
+        return _has_negative_cycle(arith)
+    return False
+
+
+def _has_negative_cycle(bounds: List[DifferenceBound]) -> bool:
+    nodes = {ZERO_NAME}
+    for b in bounds:
+        nodes.add(b.x)
+        nodes.add(b.y)
+    dist: Dict[str, int] = {v: 0 for v in nodes}
+    edges: List[Tuple[str, str, int]] = [(b.y, b.x, b.c) for b in bounds]
+    for _ in range(len(nodes)):
+        changed = False
+        for u, v, w in edges:
+            if dist[u] + w < dist[v]:
+                dist[v] = dist[u] + w
+                changed = True
+        if not changed:
+            return False
+    return True
+
+
+def simplify_conjunction(term: BoolTerm) -> BoolTerm:
+    """Normalize a guard conjunction; returns FALSE if quickly refutable.
+
+    The smart constructors in :mod:`repro.smt.terms` already flatten,
+    deduplicate, and cancel complementary literals, so this adds only the
+    arithmetic quick check on top.
+    """
+    if quick_unsat(term):
+        return FALSE
+    return term

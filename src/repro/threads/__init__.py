@@ -1,0 +1,17 @@
+"""Thread structure: thread call graph, MHP, happens-before.
+
+Escape analysis lives with the interference analysis in
+:mod:`repro.vfg.interference` because it operates on the value-flow graph
+(paper Alg. 2 lines 12-23).
+"""
+
+from .callgraph import MAIN_THREAD, Thread, ThreadCallGraph, build_thread_call_graph
+from .mhp import MhpAnalysis
+
+__all__ = [
+    "MAIN_THREAD",
+    "Thread",
+    "ThreadCallGraph",
+    "build_thread_call_graph",
+    "MhpAnalysis",
+]

@@ -1,0 +1,98 @@
+"""Lock-region analysis — the paper's future-work extension (1).
+
+The published Canary parses ``lock``/``unlock`` but does not use them to
+constrain interleavings (§5.1: Φ_po "does not attempt to identify all
+the program orders enforced by other synchronization semantics like
+lock/unlock"), noting the framework admits new synchronization semantics
+as plug-ins.  This module is that plug-in: it computes, per statement,
+the critical sections (mutex, lock statement, unlock statement) that
+enclose it, intra-procedurally.  The order-constraint builder uses the
+regions to add *mutual exclusion* constraints between critical sections
+of the same mutex in different threads:
+
+    O_unlock_a < O_lock_b  or  O_unlock_b < O_lock_a
+
+together with the section-internal order ``O_lock < O_stmt < O_unlock``.
+
+Enable with ``AnalysisConfig(model_locks=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..ir.instructions import Instruction, LockInst, UnlockInst
+from ..ir.module import IRModule
+
+__all__ = ["LockRegion", "LockAnalysis"]
+
+
+@dataclass(frozen=True)
+class LockRegion:
+    """One critical section: the mutex plus its lock/unlock statements."""
+
+    mutex: str
+    lock: Instruction
+    unlock: Instruction
+
+    def __repr__(self) -> str:
+        return f"<region {self.mutex} ℓ{self.lock.label}..ℓ{self.unlock.label}>"
+
+
+class LockAnalysis:
+    """Per-statement enclosing critical sections (intra-procedural).
+
+    A ``lock(m)`` opens a section; the matching ``unlock(m)`` in the same
+    function closes it.  Unbalanced locks (no unlock before function end)
+    produce no region — a soundy choice biased against false mutual
+    exclusion (missing regions only lose precision, never soundness of
+    the exclusion constraints).
+    """
+
+    def __init__(self, module: IRModule) -> None:
+        self.module = module
+        self._regions_of: Dict[int, Tuple[LockRegion, ...]] = {}
+        self._index()
+
+    def _index(self) -> None:
+        for func in self.module.functions.values():
+            open_locks: Dict[str, List[Instruction]] = {}
+            pending: Dict[int, List[str]] = {}  # label -> open mutexes at stmt
+            lock_insts: Dict[Tuple[str, int], Instruction] = {}
+            covered: List[Tuple[str, Instruction, Instruction]] = []
+            for inst in func.body:
+                if isinstance(inst, LockInst):
+                    open_locks.setdefault(inst.mutex, []).append(inst)
+                elif isinstance(inst, UnlockInst):
+                    stack = open_locks.get(inst.mutex)
+                    if stack:
+                        lock_inst = stack.pop()
+                        covered.append((inst.mutex, lock_inst, inst))
+            regions = [
+                LockRegion(mutex, lock_inst, unlock_inst)
+                for mutex, lock_inst, unlock_inst in covered
+            ]
+            for inst in func.body:
+                enclosing = tuple(
+                    r
+                    for r in regions
+                    if r.lock.label < inst.label < r.unlock.label
+                )
+                if enclosing:
+                    self._regions_of[inst.label] = enclosing
+
+    def regions_of(self, inst: Instruction) -> Tuple[LockRegion, ...]:
+        """The critical sections enclosing ``inst`` (possibly empty)."""
+        return self._regions_of.get(inst.label, ())
+
+    def common_mutex_regions(
+        self, a: Instruction, b: Instruction
+    ) -> List[Tuple[LockRegion, LockRegion]]:
+        """Pairs of *distinct* same-mutex regions enclosing ``a`` and ``b``."""
+        out: List[Tuple[LockRegion, LockRegion]] = []
+        for ra in self.regions_of(a):
+            for rb in self.regions_of(b):
+                if ra.mutex == rb.mutex and ra is not rb:
+                    out.append((ra, rb))
+        return out

@@ -1,0 +1,92 @@
+"""Random MiniCC program generator for differential testing.
+
+Unlike the benchmark generator (which injects *known* patterns), this
+one composes random store/load/free/branch/fork soups — programs nobody
+designed — to cross-check the analyses against each other and against
+the concrete interpreter.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+__all__ = ["random_program"]
+
+
+def random_program(seed: int, n_workers: int = 2, ops_per_body: int = 6) -> str:
+    rng = random.Random(seed)
+    n_slots = rng.randint(1, 3)
+    n_externs = 2
+
+    lines: List[str] = []
+    for i in range(n_externs):
+        lines.append(f"extern int cfg{i};")
+    lines.append("")
+
+    def body_ops(prefix: str, indent: str, rng: random.Random) -> List[str]:
+        ops: List[str] = []
+        locals_: List[str] = []
+        counter = [0]
+
+        def fresh(kind: str) -> str:
+            counter[0] += 1
+            return f"{prefix}_{kind}{counter[0]}"
+
+        depth = 0
+        for _ in range(ops_per_body):
+            pad = indent + "    " * depth
+            slot = f"slot{rng.randrange(n_slots)}"
+            choice = rng.randrange(8)
+            if choice == 0:  # allocate + publish
+                v = fresh("p")
+                ops.append(f"{pad}int* {v} = malloc();")
+                ops.append(f"{pad}*{slot} = {v};")
+                locals_.append(v)
+            elif choice == 1:  # load
+                v = fresh("l")
+                ops.append(f"{pad}int* {v} = *{slot};")
+                locals_.append(v)
+            elif choice == 2 and locals_:  # free a local pointer
+                ops.append(f"{pad}free({rng.choice(locals_)});")
+            elif choice == 3 and locals_:  # deref a local pointer
+                ops.append(f"{pad}print(*{rng.choice(locals_)});")
+            elif choice == 4 and depth < 2:  # open a guard
+                cfg = f"cfg{rng.randrange(n_externs)}"
+                cond = rng.choice([cfg, f"!{cfg}", f"{cfg} > {rng.randrange(4)}"])
+                ops.append(f"{pad}if ({cond}) {{")
+                depth += 1
+            elif choice == 5 and depth > 0:  # close a guard
+                depth -= 1
+                ops.append(f"{indent}{'    ' * depth}}}")
+            elif choice == 6 and locals_:  # republish
+                ops.append(f"{pad}*{slot} = {rng.choice(locals_)};")
+            else:  # arithmetic noise
+                v = fresh("n")
+                ops.append(f"{pad}int {v} = {rng.randrange(10)} + {rng.randrange(10)};")
+        while depth > 0:
+            depth -= 1
+            ops.append(f"{indent}{'    ' * depth}}}")
+        return ops
+
+    worker_params = ", ".join(f"int** slot{k}" for k in range(n_slots))
+    for w in range(n_workers):
+        lines.append(f"void worker{w}({worker_params}) {{")
+        lines.extend(body_ops(f"w{w}", "    ", rng))
+        lines.append("}")
+        lines.append("")
+
+    lines.append("void main() {")
+    for k in range(n_slots):
+        lines.append(f"    int** slot{k} = malloc();")
+        lines.append(f"    int* init{k} = malloc();")
+        lines.append(f"    *slot{k} = init{k};")
+    slots_args = ", ".join(f"slot{k}" for k in range(n_slots))
+    for w in range(n_workers):
+        lines.append(f"    fork(t{w}, worker{w}, {slots_args});")
+    lines.extend(body_ops("m", "    ", rng))
+    if rng.random() < 0.4:
+        lines.append(f"    join(t{rng.randrange(n_workers)});")
+        lines.extend(body_ops("m2", "    ", rng))
+    lines.append("}")
+    return "\n".join(lines) + "\n"

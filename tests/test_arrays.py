@@ -1,0 +1,112 @@
+"""Tests for monolithic array accesses (paper §6: "arrays monolithic")."""
+
+import pytest
+
+from repro import AnalysisConfig, Canary
+from repro.frontend import ParseError, parse_program
+from repro.frontend import ast_nodes as A
+from repro.ir import LoadInst, StoreInst
+from repro.lowering import lower_program
+
+
+def lower(src):
+    return lower_program(parse_program(src))
+
+
+class TestParsing:
+    def test_index_expr(self):
+        prog = parse_program("void main(int* p) { int x = p[3]; }")
+        init = prog.functions[0].body.body[0].init
+        assert isinstance(init, A.IndexExpr)
+        assert isinstance(init.index, A.NumberExpr)
+
+    def test_index_store(self):
+        prog = parse_program("void main(int* p) { p[2] = 9; }")
+        stmt = prog.functions[0].body.body[0]
+        assert isinstance(stmt, A.IndexStoreStmt)
+
+    def test_chained_index(self):
+        prog = parse_program("void main(int** p) { int x = p[1][2]; }")
+        init = prog.functions[0].body.body[0].init
+        assert isinstance(init, A.IndexExpr)
+        assert isinstance(init.base, A.IndexExpr)
+
+    def test_index_with_expression(self):
+        prog = parse_program("void main(int* p, int i) { int x = p[i + 1]; }")
+        init = prog.functions[0].body.body[0].init
+        assert isinstance(init.index, A.BinaryExpr)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse_program("void main() { 3 = 4; }")
+
+
+class TestLowering:
+    def test_index_load_is_plain_load(self):
+        module = lower("void main(int* p) { int x = p[5]; }")
+        loads = [i for i in module.functions["main"].body if isinstance(i, LoadInst)]
+        assert len(loads) == 1
+        assert loads[0].pointer is module.functions["main"].params[0]
+
+    def test_index_store_is_plain_store(self):
+        module = lower("void main(int* p) { p[0] = 42; }")
+        stores = [i for i in module.functions["main"].body if isinstance(i, StoreInst)]
+        assert len(stores) == 1
+        assert stores[0].pointer is module.functions["main"].params[0]
+
+    def test_index_side_effects_evaluated(self):
+        # the index expression's calls still execute
+        module = lower(
+            """
+            int next() { return 1; }
+            void main(int* p) { int x = p[next()]; }
+            """
+        )
+        from repro.ir import CallInst
+
+        calls = [i for i in module.functions["main"].body if isinstance(i, CallInst)]
+        assert len(calls) == 1
+
+
+class TestAnalysis:
+    def test_monolithic_array_race(self):
+        # Writes to arr[0] and reads of arr[7] alias (monolithic): the
+        # inter-thread UAF through an "array slot" is reported.
+        src = """
+        void worker(int** arr) {
+            int* buf = malloc();
+            arr[0] = buf;
+            free(buf);
+        }
+        void main() {
+            int** arr = malloc();
+            int* init = malloc();
+            arr[3] = init;
+            fork(t, worker, arr);
+            int* v = arr[7];
+            print(*v);
+        }
+        """
+        report = Canary().analyze_source(src)
+        assert report.num_reports == 1
+
+    def test_distinct_arrays_do_not_alias(self):
+        src = """
+        void worker(int** arr) {
+            int* buf = malloc();
+            arr[0] = buf;
+            free(buf);
+        }
+        void main() {
+            int** arr_a = malloc();
+            int** arr_b = malloc();
+            int* init = malloc();
+            arr_a[0] = init;
+            arr_b[0] = init;
+            fork(t, worker, arr_a);
+            int* v = arr_b[0];
+            print(*v);
+        }
+        """
+        report = Canary().analyze_source(src)
+        assert report.num_reports == 0

@@ -1,0 +1,74 @@
+"""Tests for the benchmark artifact writers (CSV, ASCII charts)."""
+
+import csv
+import io
+
+import pytest
+
+from repro.bench import (
+    PROFILES,
+    SUBJECTS,
+    ascii_time_chart,
+    fig7_csv,
+    fig8_csv,
+    run_subject,
+    table1_csv,
+    write_artifacts,
+)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return [run_subject(s, PROFILES["quick"]) for s in SUBJECTS[:3]]
+
+
+class TestCsv:
+    def test_fig7_csv_parses(self, runs):
+        rows = list(csv.reader(io.StringIO(fig7_csv(runs))))
+        assert rows[0][0] == "index"
+        assert len(rows) == len(runs) + 1
+        # every data row has 9 columns
+        assert all(len(r) == 9 for r in rows[1:])
+
+    def test_table1_csv_contains_counts(self, runs):
+        rows = list(csv.reader(io.StringIO(table1_csv(runs))))
+        header = rows[0]
+        canary_idx = header.index("canary_reports")
+        for row, run in zip(rows[1:], runs):
+            assert int(row[canary_idx]) == run.tools["canary"].reports
+
+    def test_fig8_csv_has_fits(self, runs):
+        text = fig8_csv(runs)
+        assert "fit_time" in text
+        assert "fit_memory" in text
+
+    def test_na_cells(self, runs):
+        # Force an NA by faking a timeout on a copy of a run.
+        import copy
+
+        fake = copy.deepcopy(runs[0])
+        fake.tools["saber"].timed_out = True
+        text = fig7_csv([fake])
+        assert "NA" in text
+
+
+class TestAsciiChart:
+    def test_chart_structure(self, runs):
+        chart = ascii_time_chart(runs)
+        assert "S=Saber" in chart
+        for run in runs:
+            assert run.subject.name in chart
+        # three bars per subject
+        assert chart.count("C") >= len(runs)
+
+    def test_empty_runs(self):
+        assert "no data" in ascii_time_chart([])
+
+
+class TestWriteArtifacts:
+    def test_files_written(self, runs, tmp_path):
+        paths = write_artifacts(runs, tmp_path)
+        assert len(paths) == 4
+        for p in paths:
+            content = open(p).read()
+            assert content.strip()

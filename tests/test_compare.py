@@ -1,0 +1,85 @@
+"""Tests for the benchmark comparison (regression-detection) tool."""
+
+import pathlib
+
+import pytest
+
+from repro.bench.compare import compare_fig7, compare_table1, main
+
+TABLE1_OLD = """index,subject,lines,saber_reports,saber_fp_rate,fsam_reports,fsam_fp_rate,canary_reports,canary_fps,canary_tps
+1,lrzip,240,67,97.01,12,83.33,2,0,2
+2,lwan,246,61,98.36,11,90.91,1,0,1
+"""
+
+FIG7_OLD = """index,subject,lines,saber_seconds,saber_mb,fsam_seconds,fsam_mb,canary_seconds,canary_mb
+1,lrzip,240,0.10,1.0,0.30,1.2,0.12,1.1
+2,lwan,246,0.11,1.0,0.32,1.2,0.13,1.1
+"""
+
+
+@pytest.fixture()
+def dirs(tmp_path):
+    old = tmp_path / "old"
+    new = tmp_path / "new"
+    for d in (old, new):
+        d.mkdir()
+        (d / "table1.csv").write_text(TABLE1_OLD)
+        (d / "fig7.csv").write_text(FIG7_OLD)
+    return old, new
+
+
+class TestVerdictRegressions:
+    def test_identical_runs_clean(self, dirs):
+        old, new = dirs
+        assert compare_table1(old / "table1.csv", new / "table1.csv") == []
+
+    def test_changed_report_count_flagged(self, dirs):
+        old, new = dirs
+        (new / "table1.csv").write_text(
+            TABLE1_OLD.replace("2,0,2", "3,1,2")
+        )
+        regs = compare_table1(old / "table1.csv", new / "table1.csv")
+        assert len(regs) == 2  # reports and fps both changed
+        assert all(r.kind == "verdict" for r in regs)
+
+    def test_missing_subject_flagged(self, dirs):
+        old, new = dirs
+        lines = TABLE1_OLD.strip().splitlines()
+        (new / "table1.csv").write_text("\n".join(lines[:-1]) + "\n")
+        regs = compare_table1(old / "table1.csv", new / "table1.csv")
+        assert any("missing" in r.detail for r in regs)
+
+
+class TestTimeRegressions:
+    def test_small_change_ok(self, dirs):
+        old, new = dirs
+        (new / "fig7.csv").write_text(FIG7_OLD.replace("0.12,1.1", "0.14,1.1"))
+        assert compare_fig7(old / "fig7.csv", new / "fig7.csv") == []
+
+    def test_big_slowdown_flagged(self, dirs):
+        old, new = dirs
+        (new / "fig7.csv").write_text(FIG7_OLD.replace("0.12,1.1", "0.90,1.1"))
+        regs = compare_fig7(old / "fig7.csv", new / "fig7.csv")
+        assert len(regs) == 1
+        assert "canary" in regs[0].detail
+
+    def test_new_timeout_flagged(self, dirs):
+        old, new = dirs
+        (new / "fig7.csv").write_text(FIG7_OLD.replace("0.10,1.0", "NA,NA"))
+        regs = compare_fig7(old / "fig7.csv", new / "fig7.csv")
+        assert any("budget" in r.detail for r in regs)
+
+
+class TestCli:
+    def test_clean_exit(self, dirs, capsys):
+        old, new = dirs
+        assert main([str(old), str(new)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exit(self, dirs, capsys):
+        old, new = dirs
+        (new / "table1.csv").write_text(TABLE1_OLD.replace("1,0,1", "4,3,1"))
+        assert main([str(old), str(new)]) == 1
+
+    def test_usage(self, capsys):
+        assert main([]) == 2

@@ -1,0 +1,84 @@
+"""Regression corpus runner.
+
+Each ``tests/corpus/*.mcc`` file carries directives in its leading
+comments:
+
+* ``// EXPECT <kind> <min> [<max>]`` — expected report count for that
+  checker kind (``max`` defaults to ``min``);
+* ``// CHECKERS a,b,c``              — checkers to run (default: the
+  kinds named in EXPECT lines, or use-after-free);
+* ``// CONFIG key=value``            — AnalysisConfig overrides
+  (booleans and strings supported).
+
+This is the analyzer's lit-test-style suite: every entry is a distinct
+concurrency pattern with a pinned verdict.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro import AnalysisConfig, Canary
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.mcc"))
+
+_EXPECT_RE = re.compile(r"^//\s*EXPECT\s+(\S+)\s+(\d+)(?:\s+(\d+))?\s*$")
+_CHECKERS_RE = re.compile(r"^//\s*CHECKERS\s+(\S+)\s*$")
+_CONFIG_RE = re.compile(r"^//\s*CONFIG\s+(\w+)=(\S+)\s*$")
+
+
+def _parse_directives(text: str):
+    expects: Dict[str, Tuple[int, int]] = {}
+    checkers: List[str] = []
+    config: Dict[str, object] = {}
+    for line in text.splitlines():
+        m = _EXPECT_RE.match(line.strip())
+        if m:
+            kind, lo, hi = m.group(1), int(m.group(2)), m.group(3)
+            expects[kind] = (lo, int(hi) if hi is not None else lo)
+            continue
+        m = _CHECKERS_RE.match(line.strip())
+        if m:
+            checkers = [c.strip() for c in m.group(1).split(",")]
+            continue
+        m = _CONFIG_RE.match(line.strip())
+        if m:
+            key, raw = m.group(1), m.group(2)
+            if raw in ("true", "false"):
+                config[key] = raw == "true"
+            elif raw.isdigit():
+                config[key] = int(raw)
+            else:
+                config[key] = raw
+    if not checkers:
+        checkers = sorted(expects) or ["use-after-free"]
+    return expects, tuple(checkers), config
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+)
+def test_corpus_program(path: pathlib.Path):
+    text = path.read_text()
+    expects, checkers, overrides = _parse_directives(text)
+    assert expects, f"{path.name}: no EXPECT directive"
+    config = AnalysisConfig(checkers=checkers, **overrides)
+    report = Canary(config).analyze_source(text, filename=path.name)
+    counts: Dict[str, int] = {}
+    for bug in report.bugs:
+        counts[bug.kind] = counts.get(bug.kind, 0) + 1
+    for kind, (lo, hi) in expects.items():
+        got = counts.get(kind, 0)
+        assert lo <= got <= hi, (
+            f"{path.name}: expected {lo}..{hi} {kind} report(s), got {got}\n"
+            + "\n".join(b.describe() for b in report.bugs)
+        )
+
+
+def test_corpus_not_empty():
+    assert len(CORPUS_FILES) >= 20

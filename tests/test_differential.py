@@ -1,0 +1,97 @@
+"""Differential tests over random programs.
+
+Cross-checks on programs nobody hand-crafted:
+
+1. **Pipeline robustness** — every random program parses, lowers,
+   verifies, and analyzes without crashing;
+2. **Dynamic soundness** — any violation the concrete interpreter
+   observes under a handful of schedules must be found statically
+   (Canary with intra-thread reporting enabled);
+3. **Relative soundness vs. the exhaustive baseline** — Canary's
+   (free site, use site) report pairs are a subset of the unguarded
+   Saber baseline's (Canary only *removes* infeasible candidates).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AnalysisConfig, Canary
+from repro.baselines import SaberBaseline
+from repro.frontend import parse_program
+from repro.interp import Environment, Interpreter
+from repro.ir import verify_module
+from repro.lowering import lower_program
+
+from fuzz_gen import random_program
+
+SEEDS = list(range(24))
+
+
+@pytest.fixture(scope="module")
+def analyses():
+    cache = {}
+
+    def get(seed: int):
+        if seed not in cache:
+            source = random_program(seed)
+            module = lower_program(parse_program(source, f"fuzz{seed}.mcc"))
+            report = Canary(
+                AnalysisConfig(
+                    checkers=("use-after-free", "double-free", "null-deref"),
+                    inter_thread_only=False,
+                )
+            ).analyze_module(module)
+            cache[seed] = (source, module, report)
+        return cache[seed]
+
+    return get
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_pipeline_robust(analyses, seed):
+    _source, module, report = analyses(seed)
+    assert verify_module(module).ok
+    assert report.num_reports >= 0  # completed without crashing
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_dynamic_soundness(analyses, seed):
+    """Whatever the interpreter observes, the static analysis reports."""
+    _source, module, report = analyses(seed)
+    static_kinds = {b.kind for b in report.bugs}
+    env_variants = [
+        Environment(),
+        Environment(externs={"cfg0": 1, "cfg1": 0}, default_bool=True),
+        Environment(externs={"cfg0": 3, "cfg1": 2}),
+    ]
+    schedule_variants = [
+        {"eager_children": True},
+        {"prefer_children": True},
+        {},
+    ]
+    for env in env_variants:
+        for strategy in schedule_variants:
+            interp = Interpreter(module, env)
+            result = interp.run(max_steps=20_000, **strategy)
+            for violation in result.violations:
+                if violation.kind == "info-leak":
+                    continue  # checker not enabled in this run
+                assert violation.kind in static_kinds, (
+                    f"seed {seed}: dynamic {violation!r} missed statically\n"
+                )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_subset_of_exhaustive_baseline(analyses, seed):
+    """Canary's UAF pairs ⊆ Saber's (precision only removes reports)."""
+    _source, module, report = analyses(seed)
+    saber = SaberBaseline().detect_uaf(module)
+    saber_pairs = {(r.source.label, r.sink.label) for r in saber.reports}
+    for bug in report.bugs:
+        if bug.kind != "use-after-free":
+            continue
+        assert (bug.source.label, bug.sink.label) in saber_pairs, (
+            f"seed {seed}: Canary reported a pair the exhaustive baseline "
+            f"missed: ℓ{bug.source.label} -> ℓ{bug.sink.label}"
+        )

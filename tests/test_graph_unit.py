@@ -1,0 +1,112 @@
+"""Unit tests for the VFG graph container and node types."""
+
+import pytest
+
+from repro.frontend import parse_program
+from repro.frontend.source import Location
+from repro.ir.instructions import LoadInst, StoreInst
+from repro.ir.values import MemObject, fresh_variable
+from repro.lowering import lower_program
+from repro.smt.terms import FALSE, TRUE, bool_var
+from repro.vfg.graph import DefNode, NullNode, ObjNode, StoreNode, ValueFlowGraph
+
+
+def make_store(label=1):
+    return StoreInst(
+        label=label,
+        guard=TRUE,
+        location=Location.unknown(),
+        pointer=fresh_variable("p"),
+        value=fresh_variable("v"),
+    )
+
+
+class TestNodes:
+    def test_def_node_identity(self):
+        v = fresh_variable("x")
+        assert DefNode(v) == DefNode(v)
+        assert DefNode(v) != DefNode(fresh_variable("x"))
+
+    def test_store_node_identity(self):
+        s = make_store()
+        assert StoreNode(s) == StoreNode(s)
+        assert StoreNode(s) != StoreNode(make_store(2))
+
+    def test_obj_node_identity(self):
+        o = MemObject("o", "heap")
+        assert ObjNode(o) == ObjNode(o)
+        assert ObjNode(o) != ObjNode(MemObject("o", "heap"))  # eq by identity
+
+    def test_reprs(self):
+        v = fresh_variable("x")
+        assert "def" in repr(DefNode(v))
+        assert "store@ℓ" in repr(StoreNode(make_store(7)))
+
+
+class TestGraphContainer:
+    def test_add_and_query(self):
+        g = ValueFlowGraph()
+        a, b = DefNode(fresh_variable("a")), DefNode(fresh_variable("b"))
+        edge = g.add_edge(a, b, TRUE, "direct")
+        assert edge is not None
+        assert g.num_edges == 1
+        assert g.out_edges(a) == [edge]
+        assert g.in_edges(b) == [edge]
+        assert g.out_edges(b) == []
+
+    def test_false_guard_suppressed(self):
+        g = ValueFlowGraph()
+        a, b = DefNode(fresh_variable("a")), DefNode(fresh_variable("b"))
+        assert g.add_edge(a, b, FALSE, "direct") is None
+        assert g.num_edges == 0
+
+    def test_self_edge_suppressed(self):
+        g = ValueFlowGraph()
+        a = DefNode(fresh_variable("a"))
+        assert g.add_edge(a, a, TRUE, "direct") is None
+
+    def test_duplicate_suppressed(self):
+        g = ValueFlowGraph()
+        a, b = DefNode(fresh_variable("a")), DefNode(fresh_variable("b"))
+        assert g.add_edge(a, b, TRUE, "direct") is not None
+        assert g.add_edge(a, b, bool_var("g"), "direct") is None  # same key
+        assert g.num_edges == 1
+
+    def test_distinct_kinds_not_duplicates(self):
+        g = ValueFlowGraph()
+        a, b = DefNode(fresh_variable("a")), DefNode(fresh_variable("b"))
+        assert g.add_edge(a, b, TRUE, "direct") is not None
+        assert g.add_edge(a, b, TRUE, "call", callsite=3) is not None
+        assert g.num_edges == 2
+
+    def test_interference_listing(self):
+        g = ValueFlowGraph()
+        s = make_store()
+        load = LoadInst(
+            label=2,
+            guard=TRUE,
+            location=Location.unknown(),
+            dst=fresh_variable("d"),
+            pointer=fresh_variable("q"),
+        )
+        obj = MemObject("o", "heap")
+        g.add_edge(
+            StoreNode(s),
+            DefNode(load.dst),
+            TRUE,
+            "load",
+            obj=obj,
+            store=s,
+            load=load,
+            interthread=True,
+        )
+        assert len(g.interference_edges()) == 1
+
+    def test_pretty_truncates(self):
+        g = ValueFlowGraph()
+        for i in range(10):
+            g.add_edge(
+                DefNode(fresh_variable("a")), DefNode(fresh_variable("b")), TRUE, "direct"
+            )
+        text = g.pretty(max_edges=3)
+        assert "more" in text

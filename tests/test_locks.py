@@ -1,0 +1,151 @@
+"""Tests for the lock/unlock extension (paper future work 1)."""
+
+import pytest
+
+from repro import AnalysisConfig, Canary
+from repro.frontend import parse_program
+from repro.ir import LoadInst, LockInst, StoreInst, UnlockInst
+from repro.lowering import lower_program
+from repro.threads.locks import LockAnalysis
+
+# A write publishes a temporary into the shared slot inside a critical
+# section and replaces it before unlocking; the temporary is freed after
+# the section.  A reader that takes the same lock can never observe the
+# temporary — but without lock semantics this looks like a UAF.
+LOCK_PROTECTED = """
+void main() {
+    int** slot = malloc();
+    int* initial = malloc();
+    *slot = initial;
+    fork(t, writer, slot);
+    lock(m);
+    int* v = *slot;
+    unlock(m);
+    print(*v);
+}
+
+void writer(int** s) {
+    int* tmp = malloc();
+    int* final = malloc();
+    lock(m);
+    *s = tmp;
+    *s = final;
+    unlock(m);
+    free(tmp);
+}
+"""
+
+
+def lower(src):
+    return lower_program(parse_program(src))
+
+
+class TestLockAnalysis:
+    def test_regions_computed(self):
+        module = lower(LOCK_PROTECTED)
+        locks = LockAnalysis(module)
+        store_tmp = [
+            i for i in module.functions["writer"].body if isinstance(i, StoreInst)
+        ][0]
+        regions = locks.regions_of(store_tmp)
+        assert len(regions) == 1
+        assert regions[0].mutex == "m"
+
+    def test_statement_outside_region(self):
+        module = lower(LOCK_PROTECTED)
+        locks = LockAnalysis(module)
+        from repro.ir import FreeInst
+
+        free = [i for i in module.functions["writer"].body if isinstance(i, FreeInst)][0]
+        assert locks.regions_of(free) == ()
+
+    def test_common_mutex_regions(self):
+        module = lower(LOCK_PROTECTED)
+        locks = LockAnalysis(module)
+        store = [
+            i for i in module.functions["writer"].body if isinstance(i, StoreInst)
+        ][0]
+        load = [
+            i for i in module.functions["main"].body if isinstance(i, LoadInst)
+        ][0]
+        pairs = locks.common_mutex_regions(store, load)
+        assert len(pairs) == 1
+
+    def test_unbalanced_lock_no_region(self):
+        module = lower(
+            """
+            void main() {
+                int** p = malloc();
+                lock(m);
+                int* v = *p;
+            }
+            """
+        )
+        locks = LockAnalysis(module)
+        load = [i for i in module.functions["main"].body if isinstance(i, LoadInst)][0]
+        assert locks.regions_of(load) == ()
+
+    def test_nested_regions(self):
+        module = lower(
+            """
+            void main() {
+                int** p = malloc();
+                lock(a);
+                lock(b);
+                int* v = *p;
+                unlock(b);
+                unlock(a);
+            }
+            """
+        )
+        locks = LockAnalysis(module)
+        load = [i for i in module.functions["main"].body if isinstance(i, LoadInst)][0]
+        mutexes = {r.mutex for r in locks.regions_of(load)}
+        assert mutexes == {"a", "b"}
+
+
+class TestLockAwareChecking:
+    def test_fp_without_lock_modeling(self):
+        # Matching the published Canary: locks ignored => FP reported.
+        report = Canary(AnalysisConfig(model_locks=False)).analyze_source(
+            LOCK_PROTECTED
+        )
+        assert report.num_reports >= 1
+
+    def test_fp_eliminated_with_lock_modeling(self):
+        report = Canary(AnalysisConfig(model_locks=True)).analyze_source(
+            LOCK_PROTECTED
+        )
+        assert report.num_reports == 0
+
+    def test_real_bug_still_found_with_locks(self):
+        # Locks do not protect a free-then-use of the *published* value.
+        src = """
+        void main() {
+            int** slot = malloc();
+            int* initial = malloc();
+            *slot = initial;
+            fork(t, writer, slot);
+            lock(m);
+            int* v = *slot;
+            unlock(m);
+            print(*v);
+        }
+        void writer(int** s) {
+            int* fresh = malloc();
+            lock(m);
+            *s = fresh;
+            unlock(m);
+            free(fresh);
+        }
+        """
+        report = Canary(AnalysisConfig(model_locks=True)).analyze_source(src)
+        assert report.num_reports == 1
+
+    def test_different_mutexes_do_not_exclude(self):
+        src = LOCK_PROTECTED.replace("lock(m);\n    int* v", "lock(n);\n    int* v").replace(
+            "unlock(m);\n    print", "unlock(n);\n    print"
+        )
+        report = Canary(AnalysisConfig(model_locks=True)).analyze_source(src)
+        # Reader holds a different lock: the temporary IS observable.
+        assert report.num_reports >= 1
