@@ -37,6 +37,26 @@ def main(argv=None) -> int:
         "--show-vfg", action="store_true", help="dump the guarded value-flow graph"
     )
     parser.add_argument("--parallel", action="store_true", help="parallel path solving")
+    parser.add_argument(
+        "--workers", type=int, default=4, help="worker count for --parallel solving"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["thread", "process"],
+        default="process",
+        help="batch-solving backend for --parallel (process = real parallelism,"
+        " thread = GIL-bound fallback)",
+    )
+    parser.add_argument(
+        "--cube",
+        action="store_true",
+        help="decide path queries by cube-and-conquer splitting",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-file timings, solver counters and cache hit rate",
+    )
     args = parser.parse_args(argv)
 
     checkers = tuple(c.strip() for c in args.checkers.split(",") if c.strip())
@@ -50,6 +70,9 @@ def main(argv=None) -> int:
         unroll_depth=args.unroll,
         context_depth=args.context_depth,
         parallel_solving=args.parallel,
+        solver_workers=args.workers,
+        solver_backend=args.backend,
+        cube_and_conquer=args.cube,
     )
     canary = Canary(config)
     total = 0
@@ -69,6 +92,9 @@ def main(argv=None) -> int:
         print(f"{path}: {report.num_reports} finding(s)")
         for bug in report.bugs:
             print(bug.describe())
+            print()
+        if args.stats:
+            print(report.describe_statistics())
             print()
         if args.show_vfg and report.bundle is not None:
             print(report.bundle.vfg.pretty())

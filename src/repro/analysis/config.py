@@ -33,9 +33,17 @@ class AnalysisConfig:
     max_path_depth: int = 40
     max_paths_per_source: int = 512
     max_reports_per_source: int = 8
-    #: solve independent path queries on a thread pool (paper §5.2)
+    #: solve independent path queries in parallel (paper §5.2)
     parallel_solving: bool = False
     solver_workers: int = 4
+    #: batch-solving backend: 'process' ships pickled formulas to a
+    #: ProcessPoolExecutor (true parallelism for the pure-Python solver);
+    #: 'thread' keeps the in-process pool (GIL-bound fallback).  The
+    #: process backend degrades to threads automatically if process
+    #: creation is unavailable.
+    solver_backend: str = "process"
+    #: memoize Φ_all → verdict across all checkers of one run
+    verdict_cache: bool = True
     #: use cube-and-conquer splitting for path queries (paper §5.2)
     cube_and_conquer: bool = False
     #: ablation: apply the semi-decision guard filter during construction

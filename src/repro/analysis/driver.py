@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..checkers import ALL_CHECKERS, BugReport
-from ..detection.realizability import RealizabilityChecker
+from ..detection.realizability import RealizabilityChecker, VerdictCache
 from ..detection.search import SearchLimits
 from ..frontend import parse_program
 from ..frontend.ast_nodes import Program
@@ -37,11 +37,41 @@ class AnalysisReport:
     timings: Dict[str, float] = field(default_factory=dict)
     peak_memory_bytes: int = 0
     solver_statistics: Dict[str, int] = field(default_factory=dict)
+    #: per-checker phase counts: checker name -> {sources, candidates, reports}
+    checker_statistics: Dict[str, Dict[str, int]] = field(default_factory=dict)
     bundle: Optional[VFGBundle] = None
 
     @property
     def num_reports(self) -> int:
         return len(self.bugs)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        hits = self.solver_statistics.get("cache_hits", 0)
+        misses = self.solver_statistics.get("cache_misses", 0)
+        return hits / (hits + misses) if hits + misses else 0.0
+
+    def describe_statistics(self) -> str:
+        """One-line solving summary for the CLI / logs."""
+        s = self.solver_statistics
+        timings = ", ".join(f"{k} {v:.3f}s" for k, v in sorted(self.timings.items()))
+        phases = "; ".join(
+            f"{name}: {st.get('sources', 0)} sources / {st.get('candidates', 0)}"
+            f" candidates / {st.get('reports', 0)} reports"
+            for name, st in sorted(self.checker_statistics.items())
+        )
+        lines = [
+            f"timings: {timings}",
+            f"solver: {s.get('queries', 0)} queries"
+            f" (sat {s.get('sat', 0)} / unsat {s.get('unsat', 0)}"
+            f" / unknown {s.get('unknown', 0)}),"
+            f" {s.get('solve_seconds', 0.0):.3f}s solving,"
+            f" cache {s.get('cache_hits', 0)}/{s.get('cache_hits', 0) + s.get('cache_misses', 0)}"
+            f" hits ({100.0 * self.cache_hit_rate:.0f}%)",
+        ]
+        if phases:
+            lines.append(f"checkers: {phases}")
+        return "\n".join(lines)
 
     def describe(self) -> str:
         lines = [
@@ -66,8 +96,12 @@ class Canary:
     def analyze_source(
         self, source: str, filename: str = "<input>", track_memory: bool = False
     ) -> AnalysisReport:
+        t0 = time.perf_counter()
         ast = parse_program(source, filename)
-        return self.analyze_ast(ast, track_memory=track_memory)
+        parse_seconds = time.perf_counter() - t0
+        report = self.analyze_ast(ast, track_memory=track_memory)
+        report.timings["parse"] = parse_seconds
+        return report
 
     def analyze_ast(self, ast: Program, track_memory: bool = False) -> AnalysisReport:
         t0 = time.perf_counter()
@@ -106,6 +140,8 @@ class Canary:
             order_constraints=cfg.order_constraints,
             lock_analysis=lock_analysis,
             memory_model=cfg.memory_model,
+            backend=cfg.solver_backend,
+            cache=VerdictCache() if cfg.verdict_cache else None,
         )
         limits = SearchLimits(
             max_depth=cfg.max_path_depth,
@@ -114,6 +150,7 @@ class Canary:
         )
         bugs: List[BugReport] = []
         suppressed: List = []
+        checker_statistics: Dict[str, Dict[str, int]] = {}
         for name in cfg.checkers:
             checker_cls = ALL_CHECKERS[name]
             checker = checker_cls(
@@ -125,9 +162,11 @@ class Canary:
                 collect_suppressed=cfg.collect_suppressed,
                 parallel_solving=cfg.parallel_solving,
                 solver_workers=cfg.solver_workers,
+                solver_backend=cfg.solver_backend,
             )
             bugs.extend(checker.run())
             suppressed.extend(checker.suppressed)
+            checker_statistics[name] = dict(checker.statistics)
         check_seconds = time.perf_counter() - t1
 
         peak = 0
@@ -139,8 +178,13 @@ class Canary:
             bugs=bugs,
             suppressed=suppressed,
             vfg_summary=bundle.summary(),
-            timings={"vfg": vfg_seconds, "checking": check_seconds},
+            timings={
+                "vfg": vfg_seconds,
+                "checking": check_seconds,
+                "solving": realizability.statistics.get("solve_seconds", 0.0),
+            },
             peak_memory_bytes=peak,
             solver_statistics=dict(realizability.statistics),
+            checker_statistics=checker_statistics,
             bundle=bundle,
         )

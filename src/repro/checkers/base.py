@@ -116,9 +116,11 @@ class SourceSinkChecker:
         collect_suppressed: bool = False,
         parallel_solving: bool = False,
         solver_workers: int = 4,
+        solver_backend: str = "thread",
     ) -> None:
         self.parallel_solving = parallel_solving
         self.solver_workers = solver_workers
+        self.solver_backend = solver_backend
         self.bundle = bundle
         self.limits = limits
         self.realizability = realizability or RealizabilityChecker(bundle)
@@ -127,7 +129,12 @@ class SourceSinkChecker:
         self.collect_suppressed = collect_suppressed
         self.suppressed: List[SuppressedCandidate] = []
         self.uses = UseIndex(bundle)
-        self.statistics = {"sources": 0, "candidates": 0, "reports": 0}
+        self.statistics = {
+            "sources": 0,
+            "candidates": 0,
+            "reports": 0,
+            "batch_overflow": 0,
+        }
 
     # ----- subclass API -----------------------------------------------------
 
@@ -174,8 +181,14 @@ class SourceSinkChecker:
     def run(self) -> List[BugReport]:
         reports: List[BugReport] = []
         reported_keys: Set[Tuple[str, int, int]] = set()
-        pending: List[PathQuery] = []
-        return_counts: Dict[int, int] = {}
+        #: batch mode: (key, query) in enumeration order.  Unlike serial
+        #: mode, a key is *not* claimed when enqueued — every enumerated
+        #: path for a (source, sink) pair becomes a query, exactly the
+        #: set serial mode would have checked, so the two modes agree
+        #: even when a pair's first path is unrealizable but a later one
+        #: is realizable.
+        pending: List[Tuple[Tuple[str, int, int], PathQuery]] = []
+        pending_per_source: Dict[int, int] = {}
         searcher = PathSearcher(self.bundle, self.limits)
         for origin, source_inst, alias_guard in self.sources():
             self.statistics["sources"] += 1
@@ -204,17 +217,16 @@ class SourceSinkChecker:
                         alias_guard=alias_guard,
                     )
                     if self.parallel_solving:
-                        # Batch mode: defer SMT checking; remember the
-                        # first candidate path per (source, sink) pair,
-                        # bounding the batch per source.
-                        budget = 4 * self.max_reports_per_source
-                        if return_counts.get(source_inst.label, 0) >= budget:
+                        # Batch mode: defer SMT checking.  The per-source
+                        # budget mirrors the searcher's own path bound —
+                        # it only guards against pathological blowup, not
+                        # a tighter limit than serial mode explores.
+                        n = pending_per_source.get(source_inst.label, 0)
+                        if n >= self.limits.max_paths_per_source:
+                            self.statistics["batch_overflow"] += 1
                             continue
-                        return_counts[source_inst.label] = (
-                            return_counts.get(source_inst.label, 0) + 1
-                        )
-                        reported_keys.add(key)
-                        pending.append(query)
+                        pending_per_source[source_inst.label] = n + 1
+                        pending.append((key, query))
                         continue
                     result = self.realizability.check(query)
                     if not result.realizable:
@@ -241,19 +253,30 @@ class SourceSinkChecker:
 
         if self.parallel_solving and pending:
             # §5.2: path queries are mutually independent — decide them on
-            # a thread pool, then materialize reports in candidate order.
+            # the configured pool, then materialize reports in candidate
+            # order.  Walking in enumeration order reproduces the serial
+            # policy exactly: the first realizable path of a key wins and
+            # each source reports at most max_reports_per_source keys.
             results = self.realizability.check_many(
-                pending, parallel=True, max_workers=self.solver_workers
+                [query for _key, query in pending],
+                parallel=True,
+                max_workers=self.solver_workers,
+                backend=self.solver_backend,
             )
             per_source: Dict[int, int] = {}
-            for query, result in zip(pending, results):
-                source_label = query.source_inst.label
+            suppressed_keys: Set[Tuple[str, int, int]] = set()
+            for (key, query), result in zip(pending, results):
+                if key in reported_keys:
+                    continue  # an earlier path already proved this pair
                 if result.realizable:
+                    source_label = query.source_inst.label
                     if per_source.get(source_label, 0) >= self.max_reports_per_source:
                         continue
                     per_source[source_label] = per_source.get(source_label, 0) + 1
+                    reported_keys.add(key)
                     reports.append(self._make_report(query, result))
-                elif self.collect_suppressed:
+                elif self.collect_suppressed and key not in suppressed_keys:
+                    suppressed_keys.add(key)
                     self.suppressed.append(
                         SuppressedCandidate(
                             kind=self.kind,

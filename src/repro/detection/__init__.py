@@ -1,7 +1,12 @@
 """Guarded reachability detection (paper §5, Fig. 1 right half)."""
 
 from .partial_order import OrderConstraintBuilder, order_var
-from .realizability import PathQuery, RealizabilityChecker, RealizabilityResult
+from .realizability import (
+    PathQuery,
+    RealizabilityChecker,
+    RealizabilityResult,
+    VerdictCache,
+)
 from .search import PathSearcher, SearchLimits, ValueFlowPath
 
 __all__ = [
@@ -10,6 +15,7 @@ __all__ = [
     "PathQuery",
     "RealizabilityChecker",
     "RealizabilityResult",
+    "VerdictCache",
     "PathSearcher",
     "SearchLimits",
     "ValueFlowPath",

@@ -9,26 +9,47 @@ and decide it with the SMT solver.  SAT means the path corresponds to a
 feasible sequentially-consistent interleaving and the bug is reported,
 together with a *witness order* extracted from the model.
 
-Per the paper, path queries are mutually independent, so a thread pool
-can solve them in parallel; complex queries can fall back to
-cube-and-conquer splitting.
+Per the paper, path queries are mutually independent, so batches can be
+solved in parallel.  Two backends implement that:
+
+* ``'process'`` — formulas are assembled in the parent, deduplicated,
+  and shipped to a ``ProcessPoolExecutor`` (terms pickle structurally
+  and re-intern in the worker; results come back as plain dicts).  This
+  is the only backend that actually scales the pure-Python solver past
+  the GIL.
+* ``'thread'`` — a ``ThreadPoolExecutor`` fallback for environments
+  where spawning processes is unavailable or the batch is tiny.
+
+Either way, verdicts are memoized in a :class:`VerdictCache` keyed on
+the canonicalized Φ_all (interning makes structural equality identity,
+so the formula object itself is the key), shared across all checkers of
+one ``Canary`` run.  Statistics are accumulated under a lock and merged
+from workers, so counters are exact under any backend.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..ir.instructions import Instruction
-from ..smt.portfolio import cube_solve
-from ..smt.solver import SAT, UNKNOWN, UNSAT, Model, Solver
+from ..smt.solver import SAT, UNKNOWN, UNSAT, Solver, solve_formula
 from ..smt.terms import TRUE, BoolTerm, and_
 from ..vfg.builder import VFGBundle
 from .partial_order import OrderConstraintBuilder, order_var
 from .search import ValueFlowPath
 
-__all__ = ["PathQuery", "RealizabilityChecker", "RealizabilityResult"]
+__all__ = [
+    "PathQuery",
+    "RealizabilityChecker",
+    "RealizabilityResult",
+    "VerdictCache",
+]
+
+#: backends accepted by check_many / AnalysisConfig.solver_backend
+BACKENDS = ("thread", "process")
 
 
 @dataclass
@@ -60,6 +81,61 @@ class RealizabilityResult:
     witness_env: Dict[str, Dict] = field(default_factory=dict)
 
 
+#: a cached verdict: (verdict, int assignment, bool-atom assignment)
+_CacheEntry = Tuple[str, Dict[str, int], Dict[str, bool]]
+
+
+class VerdictCache:
+    """Structural Φ_all → verdict memo, shared across checkers of a run.
+
+    Keys are the formula terms themselves: the term DSL hash-conses, so
+    two structurally identical Φ_all are the same object and repeated
+    queries (the common case when many paths share guards and order
+    skeletons, cf. DFI's reuse of solved sub-queries) hit the cache.
+    Entries store only plain data — safe to materialize into fresh
+    :class:`RealizabilityResult`\\ s and to populate from any backend.
+    Thread-safe; hit/miss counters are exact.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[BoolTerm, _CacheEntry] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def peek(self, formula: BoolTerm) -> Optional[_CacheEntry]:
+        """Look up without touching the hit/miss counters (callers count
+        via :meth:`record` once they commit to using the answer)."""
+        with self._lock:
+            return self._entries.get(formula)
+
+    def record(self, hit: bool) -> None:
+        with self._lock:
+            if hit:
+                self.hits += 1
+            else:
+                self.misses += 1
+
+    def store(self, formula: BoolTerm, entry: _CacheEntry) -> None:
+        with self._lock:
+            self._entries[formula] = entry
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _solve_payload(payload) -> Tuple[str, Dict[str, int], Dict[str, bool], float]:
+    """Module-level process-pool target (must be picklable by name)."""
+    formula, max_conflicts, use_cube = payload
+    return solve_formula(formula, max_conflicts=max_conflicts, use_cube=use_cube)
+
+
 class RealizabilityChecker:
     """Assembles Φ_all and decides it."""
 
@@ -71,7 +147,11 @@ class RealizabilityChecker:
         order_constraints: bool = True,
         lock_analysis=None,
         memory_model: str = "sc",
+        backend: str = "thread",
+        cache: Optional[VerdictCache] = None,
     ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown solver backend {backend!r} (want one of {BACKENDS})")
         self.bundle = bundle
         self.orders = OrderConstraintBuilder(
             bundle, lock_analysis=lock_analysis, memory_model=memory_model
@@ -79,7 +159,18 @@ class RealizabilityChecker:
         self.use_cube_and_conquer = use_cube_and_conquer
         self.solver_max_conflicts = solver_max_conflicts
         self.order_constraints = order_constraints
-        self.statistics = {"queries": 0, "sat": 0, "unsat": 0, "unknown": 0}
+        self.backend = backend
+        self.cache = cache
+        self._stats_lock = threading.Lock()
+        self.statistics = {
+            "queries": 0,
+            "sat": 0,
+            "unsat": 0,
+            "unknown": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "solve_seconds": 0.0,
+        }
 
     # ----- formula assembly -------------------------------------------------
 
@@ -138,48 +229,131 @@ class RealizabilityChecker:
             return "guard-contradiction"
         return "order-violation"
 
-    # ----- deciding ------------------------------------------------------------
+    # ----- deciding ---------------------------------------------------------
+
+    def _bump(self, verdict: str, cache_hit: Optional[bool], seconds: float) -> None:
+        """Merge one query's counters (thread-safe; exact under any pool)."""
+        with self._stats_lock:
+            s = self.statistics
+            s["queries"] += 1
+            s[verdict] += 1
+            if cache_hit is not None:
+                s["cache_hits" if cache_hit else "cache_misses"] += 1
+            s["solve_seconds"] += seconds
+        if self.cache is not None and cache_hit is not None:
+            self.cache.record(cache_hit)
+
+    def _materialize(
+        self,
+        formula: BoolTerm,
+        verdict: str,
+        ints: Dict[str, int],
+        bools: Dict[str, bool],
+    ) -> RealizabilityResult:
+        """Rebuild a result from plain (picklable / cacheable) solve data."""
+        if verdict != SAT:
+            # Budget exhausted (UNKNOWN): soundy choice — do not report
+            # (low FP bias).  UNSAT: refuted.
+            return RealizabilityResult(False, verdict, formula)
+        witness: Dict[str, int] = {}
+        witness_env: Dict[str, Dict] = {"ints": {}, "bools": dict(bools)}
+        for name, value in ints.items():
+            if name.startswith("O") and name[1:].isdigit():
+                # Statement order variables O<label>.
+                witness[name] = value
+            else:
+                witness_env["ints"][name] = value
+        return RealizabilityResult(True, SAT, formula, witness, witness_env)
 
     def check(self, query: PathQuery) -> RealizabilityResult:
-        self.statistics["queries"] += 1
-        formula = self.formula_for(query)
-        if self.use_cube_and_conquer:
-            verdict = cube_solve(formula)
-            model = None
-        else:
-            solver = Solver(max_conflicts=self.solver_max_conflicts)
-            solver.add(formula)
-            verdict = solver.check()
-            model = solver.model()
-        if verdict is SAT:
-            self.statistics["sat"] += 1
-            witness = {}
-            witness_env: Dict[str, Dict] = {"ints": {}, "bools": {}}
-            if model is not None:
-                for name, value in model.order().items():
-                    if name.startswith("O") and name[1:].isdigit():
-                        # Statement order variables O<label>.
-                        witness[name] = value
-                    else:
-                        witness_env["ints"][name] = value
-                from ..smt.terms import BoolVar
+        return self.check_formula(self.formula_for(query))
 
-                for atom, truth in model.bool_assignments().items():
-                    if isinstance(atom, BoolVar):
-                        witness_env["bools"][atom.name] = truth
-            return RealizabilityResult(True, "sat", formula, witness, witness_env)
-        if verdict is UNSAT:
-            self.statistics["unsat"] += 1
-            return RealizabilityResult(False, "unsat", formula)
-        self.statistics["unknown"] += 1
-        # Budget exhausted: soundy choice — do not report (low FP bias).
-        return RealizabilityResult(False, "unknown", formula)
+    def check_formula(self, formula: BoolTerm) -> RealizabilityResult:
+        """Decide one assembled Φ_all, consulting the verdict cache."""
+        if self.cache is not None:
+            entry = self.cache.peek(formula)
+            if entry is not None:
+                verdict, ints, bools = entry
+                self._bump(verdict, cache_hit=True, seconds=0.0)
+                return self._materialize(formula, verdict, ints, bools)
+        verdict, ints, bools, seconds = solve_formula(
+            formula,
+            max_conflicts=self.solver_max_conflicts,
+            use_cube=self.use_cube_and_conquer,
+        )
+        if self.cache is not None:
+            self.cache.store(formula, (verdict, ints, bools))
+            self._bump(verdict, cache_hit=False, seconds=seconds)
+        else:
+            self._bump(verdict, cache_hit=None, seconds=seconds)
+        return self._materialize(formula, verdict, ints, bools)
 
     def check_many(
-        self, queries: Sequence[PathQuery], parallel: bool = False, max_workers: int = 4
+        self,
+        queries: Sequence[PathQuery],
+        parallel: bool = False,
+        max_workers: int = 4,
+        backend: Optional[str] = None,
     ) -> List[RealizabilityResult]:
-        """Decide many independent path queries (§5.2: parallelizable)."""
+        """Decide many independent path queries (§5.2: parallelizable).
+
+        ``backend`` overrides the checker's default: ``'process'`` ships
+        formulas to a process pool (real parallelism for the pure-Python
+        solver), ``'thread'`` uses the in-process pool.  Falls back to
+        threads automatically if the process pool cannot be created.
+        """
         if not parallel or len(queries) < 2:
             return [self.check(q) for q in queries]
+        backend = backend or self.backend
+        max_workers = max(1, max_workers)
+        # Formula assembly touches the VFG bundle and order builder, so it
+        # stays in the parent; only pure terms cross the pool boundary.
+        formulas = [self.formula_for(q) for q in queries]
+        if backend == "process":
+            try:
+                return self._check_formulas_process(formulas, max_workers)
+            except (OSError, RuntimeError, ImportError):
+                pass  # e.g. sandboxed fork — degrade to the thread pool
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(self.check, queries))
+            return list(pool.map(self.check_formula, formulas))
+
+    def _check_formulas_process(
+        self, formulas: Sequence[BoolTerm], max_workers: int
+    ) -> List[RealizabilityResult]:
+        cache = self.cache
+        results: List[Optional[RealizabilityResult]] = [None] * len(formulas)
+        cached: List[Tuple[int, BoolTerm, _CacheEntry]] = []
+        todo: Dict[BoolTerm, List[int]] = {}
+        for i, formula in enumerate(formulas):
+            entry = cache.peek(formula) if cache is not None else None
+            if entry is not None:
+                cached.append((i, formula, entry))
+            else:
+                # Duplicate formulas are solved once (interning makes the
+                # dict collapse them) and fanned back out below.
+                todo.setdefault(formula, []).append(i)
+        unique = list(todo)
+        solved = []
+        if unique:
+            payloads = [
+                (f, self.solver_max_conflicts, self.use_cube_and_conquer)
+                for f in unique
+            ]
+            chunksize = max(1, len(payloads) // (4 * max_workers))
+            # Raising here (before any statistics commit) lets check_many
+            # fall back to the thread pool with exact counters.
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                solved = list(pool.map(_solve_payload, payloads, chunksize=chunksize))
+        for i, formula, (verdict, ints, bools) in cached:
+            self._bump(verdict, cache_hit=True, seconds=0.0)
+            results[i] = self._materialize(formula, verdict, ints, bools)
+        for formula, (verdict, ints, bools, seconds) in zip(unique, solved):
+            if cache is not None:
+                cache.store(formula, (verdict, ints, bools))
+            for occurrence, i in enumerate(todo[formula]):
+                # The first occurrence paid for the solve; further
+                # occurrences of the same formula are in-batch reuse.
+                hit: Optional[bool] = occurrence > 0 if cache is not None else None
+                self._bump(verdict, cache_hit=hit, seconds=seconds if occurrence == 0 else 0.0)
+                results[i] = self._materialize(formula, verdict, ints, bools)
+        return results  # type: ignore[return-value]

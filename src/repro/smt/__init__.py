@@ -33,11 +33,12 @@ from .terms import (
     ne,
     not_,
     or_,
+    structural_key,
     true,
 )
 from .simplify import quick_unsat, simplify_conjunction
-from .solver import SAT, UNKNOWN, UNSAT, Model, Solver, is_satisfiable
-from .portfolio import cube_solve, pick_split_atoms
+from .solver import SAT, UNKNOWN, UNSAT, Model, Solver, is_satisfiable, solve_formula
+from .portfolio import cube_solve, cube_solve_model, pick_split_atoms
 
 __all__ = [
     "TRUE",
@@ -70,6 +71,9 @@ __all__ = [
     "Model",
     "Solver",
     "is_satisfiable",
+    "solve_formula",
+    "structural_key",
     "cube_solve",
+    "cube_solve_model",
     "pick_split_atoms",
 ]

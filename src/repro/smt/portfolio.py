@@ -11,12 +11,12 @@ paths in parallel, see :mod:`repro.detection.realizability`).
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from .solver import SAT, UNKNOWN, UNSAT, Model, Result, Solver
 from .terms import And, BoolTerm, BoolVar, Eq, Le, Lt, Not, Or, and_, not_
 
-__all__ = ["pick_split_atoms", "cube_solve"]
+__all__ = ["pick_split_atoms", "cube_solve", "cube_solve_model"]
 
 
 def _collect_atoms(term: BoolTerm, counts: dict) -> None:
@@ -57,36 +57,65 @@ def _cubes(atoms: Sequence[BoolTerm]) -> Iterable[List[BoolTerm]]:
         yield [not_(atoms[0])] + rest
 
 
-def cube_solve(
+def cube_solve_model(
     term: BoolTerm,
     split_atoms: Optional[Sequence[BoolTerm]] = None,
     max_workers: int = 4,
-    solver_factory: Callable[[], Solver] = Solver,
-) -> Result:
+    solver_factory: Optional[Callable[[], Solver]] = None,
+    max_conflicts: Optional[int] = None,
+) -> Tuple[Result, Optional[Model]]:
     """Decide ``term`` by splitting into cubes solved in parallel.
 
     SAT if any cube is SAT; UNSAT if all cubes are UNSAT; UNKNOWN if any
-    cube exhausted its budget and no cube was SAT.
+    cube exhausted its budget and no cube was SAT.  On SAT the *winning
+    cube's* model comes back too — it satisfies the original formula
+    (the cube only fixes a few atoms), so realizability checking can
+    extract a witness interleaving from it exactly as in the monolithic
+    path.
+
+    ``max_conflicts`` is the per-cube conflict budget; it is ignored when
+    an explicit ``solver_factory`` is supplied (the factory then owns the
+    budget).
     """
+    if solver_factory is None:
+        solver_factory = lambda: Solver(max_conflicts=max_conflicts)
     if split_atoms is None:
         split_atoms = pick_split_atoms(term)
     if not split_atoms:
         solver = solver_factory()
         solver.add(term)
-        return solver.check()
+        return solver.check(), solver.model()
 
-    def solve_cube(cube: List[BoolTerm]) -> Result:
+    def solve_cube(cube: List[BoolTerm]) -> Tuple[Result, Optional[Model]]:
         solver = solver_factory()
         solver.add(term, *cube)
-        return solver.check()
+        return solver.check(), solver.model()
 
     results: List[Result] = []
     cubes = list(_cubes(list(split_atoms)))
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        for result in pool.map(solve_cube, cubes):
+        for result, model in pool.map(solve_cube, cubes):
             if result is SAT:
-                return SAT
+                return SAT, model
             results.append(result)
     if any(r is UNKNOWN for r in results):
-        return UNKNOWN
-    return UNSAT
+        return UNKNOWN, None
+    return UNSAT, None
+
+
+def cube_solve(
+    term: BoolTerm,
+    split_atoms: Optional[Sequence[BoolTerm]] = None,
+    max_workers: int = 4,
+    solver_factory: Optional[Callable[[], Solver]] = None,
+    max_conflicts: Optional[int] = None,
+) -> Result:
+    """Verdict-only wrapper over :func:`cube_solve_model`."""
+    verdict, _model = cube_solve_model(
+        term,
+        split_atoms=split_atoms,
+        max_workers=max_workers,
+        solver_factory=solver_factory,
+        max_conflicts=max_conflicts,
+    )
+    return verdict

@@ -20,7 +20,8 @@ Canary's order constraints.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import time
+from typing import Dict, List, Optional, Tuple
 
 from .cnf import CnfEncoder
 from .sat import SAT, UNKNOWN, UNSAT, SatSolver
@@ -43,7 +44,16 @@ from .terms import (
 )
 from .theory import DifferenceLogicSolver, ZERO_NAME, negate_bound, normalize_atom
 
-__all__ = ["Solver", "Model", "Result", "SAT", "UNSAT", "UNKNOWN", "is_satisfiable"]
+__all__ = [
+    "Solver",
+    "Model",
+    "Result",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "is_satisfiable",
+    "solve_formula",
+]
 
 Result = str
 
@@ -259,3 +269,36 @@ def is_satisfiable(*terms: BoolTerm) -> bool:
     solver = Solver()
     solver.add(*terms)
     return solver.check() is SAT
+
+
+def solve_formula(
+    formula: BoolTerm,
+    max_conflicts: Optional[int] = None,
+    use_cube: bool = False,
+) -> Tuple[Result, Dict[str, int], Dict[str, bool], float]:
+    """Decide one formula and return only plain picklable data.
+
+    This is the unit of work the parallel realizability backends ship to
+    workers: ``(verdict, int_assignment, bool_atom_assignment,
+    solve_seconds)``.  The formula itself pickles structurally (terms
+    re-intern on load), and the result deliberately contains no ``Model``
+    or term objects so it crosses a process boundary cheaply.
+    """
+    t0 = time.perf_counter()
+    if use_cube:
+        from .portfolio import cube_solve_model
+
+        verdict, model = cube_solve_model(formula, max_conflicts=max_conflicts)
+    else:
+        solver = Solver(max_conflicts=max_conflicts)
+        solver.add(formula)
+        verdict = solver.check()
+        model = solver.model()
+    ints: Dict[str, int] = {}
+    bools: Dict[str, bool] = {}
+    if verdict is SAT and model is not None:
+        ints = model.order()
+        for atom, truth in model.bool_assignments().items():
+            if isinstance(atom, BoolVar):
+                bools[atom.name] = truth
+    return verdict, ints, bools, time.perf_counter() - t0

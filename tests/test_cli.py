@@ -58,6 +58,38 @@ class TestAnalyzerCli:
         out = capsys.readouterr().out
         assert "VFG:" in out
 
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_parallel_backend_flags(self, backend, capsys):
+        rc = repro_main(
+            [
+                str(CORPUS / "uaf_basic.mcc"),
+                "--parallel",
+                "--backend",
+                backend,
+                "--workers",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "1 finding(s)" in out
+
+    def test_cube_flag(self, capsys):
+        rc = repro_main([str(CORPUS / "uaf_basic.mcc"), "--cube"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        # The cube backend must still produce a witness interleaving.
+        assert "witness interleaving" in out
+
+    def test_stats_flag(self, capsys):
+        rc = repro_main([str(CORPUS / "uaf_basic.mcc"), "--stats"])
+        out = capsys.readouterr().out
+        assert "queries" in out and "cache" in out and "parse" in out
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            repro_main([str(CORPUS / "uaf_basic.mcc"), "--backend", "nonsense"])
+
     def test_all_threads_flag(self, tmp_path, capsys):
         seq = tmp_path / "seq.mcc"
         seq.write_text(
