@@ -53,6 +53,33 @@ def main(argv=None) -> int:
         help="decide path queries by cube-and-conquer splitting",
     )
     parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="path search depth bound (default: 40)",
+    )
+    parser.add_argument(
+        "--max-paths",
+        type=int,
+        default=None,
+        metavar="N",
+        help="candidate paths enumerated per source (default: 512)",
+    )
+    parser.add_argument(
+        "--max-visits",
+        type=int,
+        default=None,
+        metavar="N",
+        help="DFS node-visit budget per source (default: 200000)",
+    )
+    parser.add_argument(
+        "--no-pruning",
+        action="store_true",
+        help="disable sink-reachability / guard-prefix / dead-state pruning"
+        " (reference enumeration, for debugging and ablation)",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print per-file timings, solver counters and cache hit rate",
@@ -64,6 +91,7 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown checker(s): {', '.join(unknown)}")
 
+    defaults = AnalysisConfig()
     config = AnalysisConfig(
         checkers=checkers,
         inter_thread_only=not args.all_threads,
@@ -73,6 +101,18 @@ def main(argv=None) -> int:
         solver_workers=args.workers,
         solver_backend=args.backend,
         cube_and_conquer=args.cube,
+        max_path_depth=args.max_depth
+        if args.max_depth is not None
+        else defaults.max_path_depth,
+        max_paths_per_source=args.max_paths
+        if args.max_paths is not None
+        else defaults.max_paths_per_source,
+        max_search_visits=args.max_visits
+        if args.max_visits is not None
+        else defaults.max_search_visits,
+        sink_reachability=not args.no_pruning,
+        incremental_guard_pruning=not args.no_pruning,
+        dead_state_memo=not args.no_pruning,
     )
     canary = Canary(config)
     total = 0

@@ -32,7 +32,20 @@ class AnalysisConfig:
     #: value-flow path search bounds
     max_path_depth: int = 40
     max_paths_per_source: int = 512
+    max_search_visits: int = 200_000
     max_reports_per_source: int = 8
+    #: sink-directed enumeration (all exact w.r.t. reported bug keys):
+    #: prune DFS edges into nodes that cannot reach the checker's sinks
+    sink_reachability: bool = True
+    #: fold edge guards into an incremental quick-unsat prefix mid-DFS
+    incremental_guard_pruning: bool = True
+    #: memoize (node, context, guard-fingerprint) states proven dead
+    dead_state_memo: bool = True
+    #: stream enumerated paths to the solver pool instead of batching
+    #: (only meaningful with parallel_solving)
+    streaming_solving: bool = True
+    #: producer threads enumerating sources concurrently in streaming mode
+    enumeration_workers: int = 2
     #: solve independent path queries in parallel (paper §5.2)
     parallel_solving: bool = False
     solver_workers: int = 4

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..checkers import ALL_CHECKERS, BugReport
+from ..detection.reachability import ReachabilityIndexCache
 from ..detection.realizability import RealizabilityChecker, VerdictCache
 from ..detection.search import SearchLimits
 from ..frontend import parse_program
@@ -39,6 +40,10 @@ class AnalysisReport:
     solver_statistics: Dict[str, int] = field(default_factory=dict)
     #: per-checker phase counts: checker name -> {sources, candidates, reports}
     checker_statistics: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: per-checker enumeration counters (visits, prunes, memo hits, ...)
+    search_statistics: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: soundness warnings: searches that hit a bound (enumeration truncated)
+    truncation_warnings: List[str] = field(default_factory=list)
     bundle: Optional[VFGBundle] = None
 
     @property
@@ -71,6 +76,19 @@ class AnalysisReport:
         ]
         if phases:
             lines.append(f"checkers: {phases}")
+        totals: Dict[str, int] = {}
+        for st in self.search_statistics.values():
+            for key, value in st.items():
+                totals[key] = totals.get(key, 0) + value
+        if totals:
+            lines.append(
+                f"enumeration: {totals.get('visits', 0)} nodes visited,"
+                f" pruned {totals.get('pruned_unreachable', 0)} unreachable"
+                f" / {totals.get('pruned_guard', 0)} guard-unsat,"
+                f" {totals.get('memo_hits', 0)} dead-state memo hit(s)"
+            )
+        for warning in self.truncation_warnings:
+            lines.append(f"warning: {warning}")
         return "\n".join(lines)
 
     def describe(self) -> str:
@@ -146,11 +164,18 @@ class Canary:
         limits = SearchLimits(
             max_depth=cfg.max_path_depth,
             max_paths_per_source=cfg.max_paths_per_source,
+            max_visits=cfg.max_search_visits,
             context_depth=cfg.context_depth,
         )
+        # One cache per run: checkers sharing a sink class (e.g. the
+        # dereference sinks of use-after-free and null-deref) share the
+        # backward reachability index instead of rebuilding it.
+        index_cache = ReachabilityIndexCache()
         bugs: List[BugReport] = []
         suppressed: List = []
         checker_statistics: Dict[str, Dict[str, int]] = {}
+        search_statistics: Dict[str, Dict[str, int]] = {}
+        truncation_warnings: List[str] = []
         for name in cfg.checkers:
             checker_cls = ALL_CHECKERS[name]
             checker = checker_cls(
@@ -163,10 +188,20 @@ class Canary:
                 parallel_solving=cfg.parallel_solving,
                 solver_workers=cfg.solver_workers,
                 solver_backend=cfg.solver_backend,
+                sink_reachability=cfg.sink_reachability,
+                guard_pruning=cfg.incremental_guard_pruning,
+                dead_memo=cfg.dead_state_memo,
+                index_cache=index_cache,
+                streaming=cfg.streaming_solving,
+                enumeration_workers=cfg.enumeration_workers,
             )
             bugs.extend(checker.run())
             suppressed.extend(checker.suppressed)
             checker_statistics[name] = dict(checker.statistics)
+            search_statistics[name] = checker.search_stats.as_dict()
+            truncation_warnings.extend(
+                f"{name}: {event.describe()}" for event in checker.truncation_events
+            )
         check_seconds = time.perf_counter() - t1
 
         peak = 0
@@ -186,5 +221,7 @@ class Canary:
             peak_memory_bytes=peak,
             solver_statistics=dict(realizability.statistics),
             checker_statistics=checker_statistics,
+            search_statistics=search_statistics,
+            truncation_warnings=truncation_warnings,
             bundle=bundle,
         )

@@ -5,10 +5,21 @@ source nodes, search the VFG forward, match sink uses of the reached
 values, and keep only the paths the SMT solver proves realizable.  Bug
 reports carry the witness path and the constraints — the paper's
 "concise bug reports with a limited number of relevant statements".
+
+The enumeration layer is demand-driven (sink-directed): each checker
+declares its *sink node set* (the VFG definitions whose uses can be a
+sink for the property), a backward :class:`SinkReachabilityIndex` over
+that set prunes the forward DFS, an incremental guard prefix cuts
+quick-unsat subtrees mid-search, and — in parallel mode — a streaming
+pipeline feeds discovered paths to the solver pool while enumeration is
+still running (no enumerate-all barrier).
 """
 
 from __future__ import annotations
 
+import queue
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -23,8 +34,15 @@ from ..ir.values import Variable
 from ..smt.terms import BoolTerm
 from ..vfg.builder import VFGBundle
 from ..vfg.graph import DefNode, VFGNode
+from ..detection.reachability import ReachabilityIndexCache, SinkReachabilityIndex
 from ..detection.realizability import PathQuery, RealizabilityChecker
-from ..detection.search import PathSearcher, SearchLimits, ValueFlowPath
+from ..detection.search import (
+    PathSearcher,
+    SearchLimits,
+    SearchStatistics,
+    TruncationEvent,
+    ValueFlowPath,
+)
 
 __all__ = ["BugReport", "SourceSinkChecker", "UseIndex"]
 
@@ -100,6 +118,19 @@ class UseIndex:
                     if isinstance(arg, Variable):
                         self.data_uses.setdefault(arg, []).append(inst)
 
+    def pointer_def_nodes(self, *use_classes) -> Set[VFGNode]:
+        """DefNodes of variables with a pointer use of the given classes."""
+        return {
+            DefNode(var)
+            for var, uses in self.pointer_uses.items()
+            if any(isinstance(u, use_classes) for u in uses)
+        }
+
+
+#: one enumerated candidate crossing the producer→coordinator queue:
+#: (source index, per-source sequence, key, path edges, source, sink)
+_Candidate = Tuple[int, int, Tuple[str, int, int], tuple, Instruction, Instruction]
+
 
 class SourceSinkChecker:
     """Template for guarded-reachability bug checking."""
@@ -117,6 +148,12 @@ class SourceSinkChecker:
         parallel_solving: bool = False,
         solver_workers: int = 4,
         solver_backend: str = "thread",
+        sink_reachability: bool = True,
+        guard_pruning: bool = True,
+        dead_memo: bool = True,
+        index_cache: Optional[ReachabilityIndexCache] = None,
+        streaming: bool = True,
+        enumeration_workers: int = 2,
     ) -> None:
         self.parallel_solving = parallel_solving
         self.solver_workers = solver_workers
@@ -127,13 +164,23 @@ class SourceSinkChecker:
         self.inter_thread_only = inter_thread_only
         self.max_reports_per_source = max_reports_per_source
         self.collect_suppressed = collect_suppressed
+        self.sink_reachability = sink_reachability
+        # Guard pruning skips exactly the candidates the solver would
+        # refute — the ones the suppressed-candidate diagnostics exist to
+        # explain — so the diagnostic mode turns it off.
+        self.guard_pruning = guard_pruning and not collect_suppressed
+        self.dead_memo = dead_memo
+        self.index_cache = index_cache
+        self.streaming = streaming
+        self.enumeration_workers = max(1, enumeration_workers)
         self.suppressed: List[SuppressedCandidate] = []
         self.uses = UseIndex(bundle)
+        self.search_stats = SearchStatistics()
+        self.truncation_events: List[TruncationEvent] = []
         self.statistics = {
             "sources": 0,
             "candidates": 0,
             "reports": 0,
-            "batch_overflow": 0,
         }
 
     # ----- subclass API -----------------------------------------------------
@@ -150,6 +197,15 @@ class SourceSinkChecker:
     ) -> Iterable[Instruction]:
         """Sink statements triggered by the value reaching ``var``."""
         raise NotImplementedError
+
+    def sink_node_set(self) -> Optional[Set[VFGNode]]:
+        """The VFG nodes at which :meth:`sinks_at` could ever yield a sink
+        (an over-approximation, independent of the source statement).
+
+        Drives the sink-reachability index and the dead-state memo;
+        ``None`` (the property-agnostic default) disables both.
+        """
+        return None
 
     def extra_constraints(
         self, source_inst: Instruction, sink_inst: Instruction
@@ -176,37 +232,95 @@ class SourceSinkChecker:
         threads_b = self.bundle.tcg.threads_of(sink)
         return any(a != b for a in threads_a for b in threads_b)
 
+    # ----- enumeration plumbing ----------------------------------------------
+
+    def _reach_index(
+        self, sinks: Optional[Set[VFGNode]]
+    ) -> Optional[SinkReachabilityIndex]:
+        if not self.sink_reachability or not sinks:
+            return None
+        cache = self.index_cache
+        if cache is None:
+            return SinkReachabilityIndex(
+                self.bundle.vfg, sinks, self.limits.context_depth
+            )
+        return cache.get(self.bundle.vfg, sinks, self.limits.context_depth)
+
+    def _make_searcher(
+        self,
+        index: Optional[SinkReachabilityIndex],
+        sinks: Optional[Set[VFGNode]],
+    ) -> PathSearcher:
+        return PathSearcher(
+            self.bundle,
+            self.limits,
+            reach_index=index,
+            guard_pruning=self.guard_pruning,
+            dead_memo=self.dead_memo,
+            sink_nodes=sinks,
+        )
+
+    def _note_search(self, origin: VFGNode, searcher: PathSearcher) -> None:
+        """Merge one source's enumeration counters and truncations."""
+        self.search_stats.merge(searcher.stats)
+        for limit, count in sorted(searcher.truncations.items()):
+            self.truncation_events.append(
+                TruncationEvent(origin=repr(origin), limit=limit, count=count)
+            )
+
+    def _merged_statistics(self) -> None:
+        # Enumeration counters live in self.search_stats (the driver
+        # surfaces them separately); candidates is shared vocabulary.
+        self.statistics["candidates"] = self.search_stats.candidates
+
     # ----- driver -----------------------------------------------------------
 
     def run(self) -> List[BugReport]:
+        sinks = self.sink_node_set()
+        index = self._reach_index(sinks)
+        source_list = list(self.sources())
+        self.statistics["sources"] = len(source_list)
+        if self.parallel_solving:
+            if self.streaming:
+                reports = self._run_streaming(source_list, index, sinks)
+            else:
+                reports = self._run_batch(source_list, index, sinks)
+        else:
+            reports = self._run_serial(source_list, index, sinks)
+        self._merged_statistics()
+        self.statistics["reports"] += len(reports)
+        return reports
+
+    def _run_serial(
+        self,
+        source_list: Sequence[Tuple[VFGNode, Instruction, BoolTerm]],
+        index: Optional[SinkReachabilityIndex],
+        sinks: Optional[Set[VFGNode]],
+    ) -> List[BugReport]:
         reports: List[BugReport] = []
-        reported_keys: Set[Tuple[str, int, int]] = set()
-        #: batch mode: (key, query) in enumeration order.  Unlike serial
-        #: mode, a key is *not* claimed when enqueued — every enumerated
-        #: path for a (source, sink) pair becomes a query, exactly the
-        #: set serial mode would have checked, so the two modes agree
-        #: even when a pair's first path is unrealizable but a later one
-        #: is realizable.
-        pending: List[Tuple[Tuple[str, int, int], PathQuery]] = []
-        pending_per_source: Dict[int, int] = {}
-        searcher = PathSearcher(self.bundle, self.limits)
-        for origin, source_inst, alias_guard in self.sources():
-            self.statistics["sources"] += 1
+        reported_keys: Set[Tuple] = set()
+        for origin, source_inst, alias_guard in source_list:
             found_here = 0
 
-            def on_node(node: VFGNode, path: ValueFlowPath) -> None:
+            def on_node(node: VFGNode, path: ValueFlowPath) -> int:
                 nonlocal found_here
-                if found_here >= self.max_reports_per_source:
-                    return
                 if not isinstance(node, DefNode):
-                    return
+                    return 0
+                emitted = 0
                 for sink_inst in self.sinks_at(node.var, source_inst):
                     key = (self.kind, source_inst.label, sink_inst.label)
                     if key in reported_keys:
                         continue
                     if not self.admit(source_inst, sink_inst, path):
                         continue
-                    self.statistics["candidates"] += 1
+                    emitted += 1
+                    if found_here >= self.max_reports_per_source:
+                        # Report budget exhausted: the candidate still
+                        # counts against max_paths_per_source (as it
+                        # does in batch/streaming mode) but is not
+                        # solved — matching the pre-streaming policy of
+                        # at most max_reports_per_source keys per source.
+                        continue
                     query = PathQuery(
                         path=ValueFlowPath(origin=path.origin, edges=list(path.edges)),
                         source_inst=source_inst,
@@ -216,18 +330,6 @@ class SourceSinkChecker:
                         ),
                         alias_guard=alias_guard,
                     )
-                    if self.parallel_solving:
-                        # Batch mode: defer SMT checking.  The per-source
-                        # budget mirrors the searcher's own path bound —
-                        # it only guards against pathological blowup, not
-                        # a tighter limit than serial mode explores.
-                        n = pending_per_source.get(source_inst.label, 0)
-                        if n >= self.limits.max_paths_per_source:
-                            self.statistics["batch_overflow"] += 1
-                            continue
-                        pending_per_source[source_inst.label] = n + 1
-                        pending.append((key, query))
-                        continue
                     result = self.realizability.check(query)
                     if not result.realizable:
                         if self.collect_suppressed:
@@ -248,45 +350,192 @@ class SourceSinkChecker:
                     reported_keys.add(key)
                     found_here += 1
                     reports.append(self._make_report(query, result))
+                return emitted
 
-            searcher.search(origin, on_node)
-
-        if self.parallel_solving and pending:
-            # §5.2: path queries are mutually independent — decide them on
-            # the configured pool, then materialize reports in candidate
-            # order.  Walking in enumeration order reproduces the serial
-            # policy exactly: the first realizable path of a key wins and
-            # each source reports at most max_reports_per_source keys.
-            results = self.realizability.check_many(
-                [query for _key, query in pending],
-                parallel=True,
-                max_workers=self.solver_workers,
-                backend=self.solver_backend,
-            )
-            per_source: Dict[int, int] = {}
-            suppressed_keys: Set[Tuple[str, int, int]] = set()
-            for (key, query), result in zip(pending, results):
-                if key in reported_keys:
-                    continue  # an earlier path already proved this pair
-                if result.realizable:
-                    source_label = query.source_inst.label
-                    if per_source.get(source_label, 0) >= self.max_reports_per_source:
-                        continue
-                    per_source[source_label] = per_source.get(source_label, 0) + 1
-                    reported_keys.add(key)
-                    reports.append(self._make_report(query, result))
-                elif self.collect_suppressed and key not in suppressed_keys:
-                    suppressed_keys.add(key)
-                    self.suppressed.append(
-                        SuppressedCandidate(
-                            kind=self.kind,
-                            source=query.source_inst,
-                            sink=query.sink_inst,
-                            reason=self.realizability.explain_refutation(query),
-                        )
-                    )
-        self.statistics["reports"] += len(reports)
+            searcher = self._make_searcher(index, sinks)
+            searcher.search(origin, on_node, alias_guard=alias_guard)
+            self._note_search(origin, searcher)
         return reports
+
+    def _enumerate_candidates(
+        self,
+        source_list: Sequence[Tuple[VFGNode, Instruction, BoolTerm]],
+        index: Optional[SinkReachabilityIndex],
+        sinks: Optional[Set[VFGNode]],
+        emit,
+    ) -> None:
+        """Enumerate every source (possibly on a thread pool), calling
+        ``emit(candidate)`` for each admitted (source, sink, path).
+
+        Unlike serial mode, a key is *not* claimed when a candidate is
+        emitted — every enumerated path of a (source, sink) pair becomes
+        a query, exactly the set serial mode would have checked, so the
+        modes agree even when a pair's first path is unrealizable but a
+        later one is realizable.  Candidates are tagged with a
+        (source-index, sequence) ordinal; replaying the serial reporting
+        policy over the ordinal-sorted verdicts reproduces serial mode's
+        bug keys.
+
+        Producers never build SMT terms (interning is not thread-safe):
+        ``extra_constraints`` is deferred to the coordinator.
+        """
+
+        def enumerate_one(idx: int) -> None:
+            origin, source_inst, alias_guard = source_list[idx]
+            seq = 0
+
+            def on_node(node: VFGNode, path: ValueFlowPath) -> int:
+                nonlocal seq
+                if not isinstance(node, DefNode):
+                    return 0
+                emitted = 0
+                for sink_inst in self.sinks_at(node.var, source_inst):
+                    key = (self.kind, source_inst.label, sink_inst.label)
+                    if not self.admit(source_inst, sink_inst, path):
+                        continue
+                    emitted += 1
+                    emit((idx, seq, key, tuple(path.edges), source_inst, sink_inst))
+                    seq += 1
+                return emitted
+
+            searcher = self._make_searcher(index, sinks)
+            searcher.search(origin, on_node, alias_guard=alias_guard)
+            with self._enum_lock:
+                self._note_search(origin, searcher)
+
+        self._enum_lock = threading.Lock()
+        if self.enumeration_workers <= 1 or len(source_list) <= 1:
+            for idx in range(len(source_list)):
+                enumerate_one(idx)
+            return
+        with ThreadPoolExecutor(max_workers=self.enumeration_workers) as pool:
+            futures = [
+                pool.submit(enumerate_one, idx) for idx in range(len(source_list))
+            ]
+            for future in futures:
+                future.result()  # propagate enumeration errors
+
+    def _replay_serial_policy(
+        self,
+        ordered: Sequence[Tuple[_Candidate, PathQuery]],
+        results: Sequence,
+    ) -> List[BugReport]:
+        """§5.2: path queries are mutually independent — decided on the
+        pool, then materialized in candidate order.  Walking in
+        enumeration order reproduces the serial policy exactly: the
+        first realizable path of a key wins and each source reports at
+        most ``max_reports_per_source`` keys."""
+        reports: List[BugReport] = []
+        reported_keys: Set[Tuple[str, int, int]] = set()
+        per_source: Dict[int, int] = {}
+        suppressed_keys: Set[Tuple[str, int, int]] = set()
+        for ((_idx, _seq, key, _edges, source_inst, sink_inst), query), result in zip(
+            ordered, results
+        ):
+            if key in reported_keys:
+                continue  # an earlier path already proved this pair
+            if result.realizable:
+                source_label = query.source_inst.label
+                if per_source.get(source_label, 0) >= self.max_reports_per_source:
+                    continue
+                per_source[source_label] = per_source.get(source_label, 0) + 1
+                reported_keys.add(key)
+                reports.append(self._make_report(query, result))
+            elif self.collect_suppressed and key not in suppressed_keys:
+                suppressed_keys.add(key)
+                self.suppressed.append(
+                    SuppressedCandidate(
+                        kind=self.kind,
+                        source=query.source_inst,
+                        sink=query.sink_inst,
+                        reason=self.realizability.explain_refutation(query),
+                    )
+                )
+        return reports
+
+    def _build_query(self, candidate: _Candidate, source_list) -> PathQuery:
+        idx, _seq, _key, edges, source_inst, sink_inst = candidate
+        origin, _inst, alias_guard = source_list[idx]
+        return PathQuery(
+            path=ValueFlowPath(origin=origin, edges=list(edges)),
+            source_inst=source_inst,
+            sink_inst=sink_inst,
+            extra_constraints=self.extra_constraints(source_inst, sink_inst),
+            alias_guard=alias_guard,
+        )
+
+    def _run_streaming(
+        self,
+        source_list: Sequence[Tuple[VFGNode, Instruction, BoolTerm]],
+        index: Optional[SinkReachabilityIndex],
+        sinks: Optional[Set[VFGNode]],
+    ) -> List[BugReport]:
+        """The enumerate→solve pipeline: producer threads run per-source
+        DFS, pushing candidates into a bounded queue; the coordinator
+        (this thread) assembles Φ_all and streams it to the solver pool
+        while enumeration continues.  Verdicts are replayed over the
+        (source, sequence)-sorted candidates, preserving the serial
+        equivalence guarantee."""
+        if not source_list:
+            return []
+        fifo: "queue.Queue" = queue.Queue(maxsize=max(64, 8 * self.solver_workers))
+        _DONE = object()
+
+        def emit(candidate: _Candidate) -> None:
+            fifo.put(candidate)
+
+        def produce() -> None:
+            try:
+                self._enumerate_candidates(source_list, index, sinks, emit)
+            finally:
+                fifo.put(_DONE)
+
+        stream = self.realizability.open_stream(
+            max_workers=self.solver_workers, backend=self.solver_backend
+        )
+        entries: List[Tuple[_Candidate, PathQuery, int]] = []
+        producer = threading.Thread(target=produce, name=f"{self.kind}-enum")
+        producer.start()
+        try:
+            while True:
+                item = fifo.get()
+                if item is _DONE:
+                    break
+                query = self._build_query(item, source_list)
+                ordinal = stream.submit(query)
+                entries.append((item, query, ordinal))
+        finally:
+            producer.join()
+            results = stream.finish()
+        # Enumeration across sources interleaves nondeterministically;
+        # the (source-index, sequence) ordinal restores the order serial
+        # mode would have produced.
+        entries.sort(key=lambda e: (e[0][0], e[0][1]))
+        ordered = [(cand, query) for cand, query, _ord in entries]
+        verdicts = [results[ordinal] for _cand, _query, ordinal in entries]
+        return self._replay_serial_policy(ordered, verdicts)
+
+    def _run_batch(
+        self,
+        source_list: Sequence[Tuple[VFGNode, Instruction, BoolTerm]],
+        index: Optional[SinkReachabilityIndex],
+        sinks: Optional[Set[VFGNode]],
+    ) -> List[BugReport]:
+        """PR 1 batch mode (kept for comparison/ablation): enumerate all
+        paths first, then decide the whole batch on the pool."""
+        pending: List[_Candidate] = []
+        self._enumerate_candidates(source_list, index, sinks, pending.append)
+        pending.sort(key=lambda c: (c[0], c[1]))
+        if not pending:
+            return []
+        queries = [self._build_query(c, source_list) for c in pending]
+        results = self.realizability.check_many(
+            queries,
+            parallel=True,
+            max_workers=self.solver_workers,
+            backend=self.solver_backend,
+        )
+        return self._replay_serial_policy(list(zip(pending, queries)), results)
 
     def _make_report(self, query: PathQuery, result) -> BugReport:
         source_inst, sink_inst = query.source_inst, query.sink_inst

@@ -38,6 +38,9 @@ class DoubleFreeChecker(SourceSinkChecker):
             if isinstance(use, FreeInst) and use is not source_inst:
                 yield use
 
+    def sink_node_set(self) -> Set[VFGNode]:
+        return self.uses.pointer_def_nodes(FreeInst)
+
     def extra_constraints(
         self, source_inst: Instruction, sink_inst: Instruction
     ) -> Tuple[BoolTerm, ...]:

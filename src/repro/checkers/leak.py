@@ -9,7 +9,7 @@ Arithmetic edges propagate taint, so derived values are tracked too.
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Iterable, Set, Tuple
 
 from ..ir.instructions import Instruction, SinkInst, SourceInst
 from ..ir.values import Variable
@@ -34,3 +34,10 @@ class TaintLeakChecker(SourceSinkChecker):
         for use in self.uses.data_uses.get(var, ()):
             if isinstance(use, SinkInst) and use.kind == "taint_sink":
                 yield use
+
+    def sink_node_set(self) -> Set[VFGNode]:
+        return {
+            DefNode(var)
+            for var, uses in self.uses.data_uses.items()
+            if any(isinstance(u, SinkInst) and u.kind == "taint_sink" for u in uses)
+        }

@@ -10,7 +10,7 @@ so no extra order constraint is needed beyond program order.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Set, Tuple
 
 from ..ir.instructions import (
     CopyInst,
@@ -48,3 +48,6 @@ class NullDerefChecker(SourceSinkChecker):
         for use in self.uses.pointer_uses.get(var, ()):
             if isinstance(use, (LoadInst, StoreInst, FreeInst)):
                 yield use
+
+    def sink_node_set(self) -> Set[VFGNode]:
+        return self.uses.pointer_def_nodes(LoadInst, StoreInst, FreeInst)

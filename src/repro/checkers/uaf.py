@@ -13,7 +13,7 @@ able to execute *after* the free in some feasible interleaving.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Set, Tuple
 
 from ..ir.instructions import FreeInst, Instruction, LoadInst, StoreInst
 from ..ir.values import Variable
@@ -45,6 +45,11 @@ class UseAfterFreeChecker(SourceSinkChecker):
             # Dereferences only; double-free is a separate property.
             if isinstance(use, (LoadInst, StoreInst)) and use is not source_inst:
                 yield use
+
+    def sink_node_set(self) -> Set[VFGNode]:
+        # Any variable with a dereferencing use; sinks_at only refines
+        # this (drops the source statement itself).
+        return self.uses.pointer_def_nodes(LoadInst, StoreInst)
 
     def extra_constraints(
         self, source_inst: Instruction, sink_inst: Instruction

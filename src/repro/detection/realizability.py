@@ -30,7 +30,7 @@ from workers, so counters are exact under any backend.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -45,6 +45,7 @@ __all__ = [
     "PathQuery",
     "RealizabilityChecker",
     "RealizabilityResult",
+    "StreamingSolver",
     "VerdictCache",
 ]
 
@@ -317,6 +318,22 @@ class RealizabilityChecker:
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             return list(pool.map(self.check_formula, formulas))
 
+    def open_stream(
+        self,
+        max_workers: int = 4,
+        backend: Optional[str] = None,
+        max_inflight: Optional[int] = None,
+    ) -> "StreamingSolver":
+        """A bounded enumerate→solve pipeline: submit path queries as the
+        searcher discovers them; verdicts come back in submission order
+        from :meth:`StreamingSolver.finish`."""
+        return StreamingSolver(
+            self,
+            max_workers=max_workers,
+            backend=backend or self.backend,
+            max_inflight=max_inflight,
+        )
+
     def _check_formulas_process(
         self, formulas: Sequence[BoolTerm], max_workers: int
     ) -> List[RealizabilityResult]:
@@ -357,3 +374,165 @@ class RealizabilityChecker:
                 self._bump(verdict, cache_hit=hit, seconds=seconds if occurrence == 0 else 0.0)
                 results[i] = self._materialize(formula, verdict, ints, bools)
         return results  # type: ignore[return-value]
+
+
+class StreamingSolver:
+    """Overlaps path enumeration with SMT solving (the streaming half of
+    the sink-directed enumeration engine).
+
+    The PR 1 batch engine enumerated *all* paths, then solved the batch —
+    a barrier that leaves the solver pool idle during enumeration and the
+    enumerator idle during solving.  This class removes the barrier:
+    :meth:`submit` assembles Φ_all for one query (formula assembly stays
+    on the caller's thread — term interning is not thread-safe, so the
+    checker routes all submissions through its coordinator thread) and
+    immediately ships unique, uncached formulas to the worker pool, while
+    the DFS keeps producing.
+
+    Backpressure: at most ``max_inflight`` unique formulas are in flight;
+    further submissions block, bounding memory no matter how fast the
+    enumerator runs.  Duplicates (interning makes structural equality
+    identity) and verdict-cache hits never occupy a slot.
+
+    :meth:`finish` returns verdicts in submission order with statistics
+    accounted exactly like the batch path: the first occurrence of a
+    formula pays the solve time and the cache miss, later occurrences
+    are in-batch reuse, pre-cached formulas are hits.  If the process
+    pool cannot be created (or dies mid-run), affected formulas are
+    re-solved in-process, so a stream always completes.
+    """
+
+    def __init__(
+        self,
+        checker: RealizabilityChecker,
+        max_workers: int = 4,
+        backend: str = "process",
+        max_inflight: Optional[int] = None,
+    ) -> None:
+        self.checker = checker
+        self.max_workers = max(1, max_workers)
+        self.backend = backend
+        self.max_inflight = max_inflight or 4 * self.max_workers
+        self._sem = threading.Semaphore(self.max_inflight)
+        self._pool = None
+        self._pool_failed = False
+        #: per submission: (formula, disposition, cached-entry-or-None)
+        self._entries: List[Tuple[BoolTerm, str, Optional[_CacheEntry]]] = []
+        self._futures: Dict[BoolTerm, Future] = {}
+        self._finished = False
+
+    # ----- producing ---------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is not None or self._pool_failed:
+            return self._pool
+        if self.backend == "process":
+            try:
+                self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            except (OSError, RuntimeError, ImportError):
+                self._pool = None  # sandboxed fork etc. — degrade to threads
+        if self._pool is None:
+            try:
+                self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            except (OSError, RuntimeError):
+                self._pool_failed = True
+        return self._pool
+
+    def submit(self, query: PathQuery) -> int:
+        """Assemble and enqueue one query; returns its submission ordinal."""
+        if self._finished:
+            raise RuntimeError("stream already finished")
+        formula = self.checker.formula_for(query)
+        return self.submit_formula(formula)
+
+    def submit_formula(self, formula: BoolTerm) -> int:
+        cache = self.checker.cache
+        entry = cache.peek(formula) if cache is not None else None
+        if entry is not None:
+            self._entries.append((formula, "cached", entry))
+            return len(self._entries) - 1
+        if formula in self._futures:
+            self._entries.append((formula, "dup", None))
+            return len(self._entries) - 1
+        pool = self._ensure_pool()
+        future: Optional[Future] = None
+        if pool is not None:
+            payload = (
+                formula,
+                self.checker.solver_max_conflicts,
+                self.checker.use_cube_and_conquer,
+            )
+            self._sem.acquire()  # backpressure: bounded in-flight window
+            try:
+                future = pool.submit(_solve_payload, payload)
+            except (OSError, RuntimeError):
+                self._sem.release()
+                future = None
+            else:
+                future.add_done_callback(lambda _f: self._sem.release())
+        if future is not None:
+            self._futures[formula] = future
+            self._entries.append((formula, "first", None))
+        else:
+            # No pool at all: mark for in-process solving at finish time.
+            self._futures.setdefault(formula, None)  # type: ignore[arg-type]
+            self._entries.append((formula, "first", None))
+        return len(self._entries) - 1
+
+    # ----- draining ----------------------------------------------------------
+
+    def finish(self) -> List[RealizabilityResult]:
+        """Wait for all verdicts; results are in submission order."""
+        self._finished = True
+        checker = self.checker
+        cache = checker.cache
+        results: List[RealizabilityResult] = []
+        solved: Dict[BoolTerm, Tuple[str, Dict, Dict, float]] = {}
+        occurrences: Dict[BoolTerm, int] = {}
+        try:
+            for formula, disposition, entry in self._entries:
+                if disposition == "cached":
+                    verdict, ints, bools = entry  # type: ignore[misc]
+                    checker._bump(verdict, cache_hit=True, seconds=0.0)
+                    results.append(
+                        checker._materialize(formula, verdict, ints, bools)
+                    )
+                    continue
+                data = solved.get(formula)
+                if data is None:
+                    future = self._futures[formula]
+                    data = None
+                    if future is not None:
+                        try:
+                            data = future.result()
+                        except Exception:
+                            data = None  # pool died — re-solve locally
+                    if data is None:
+                        data = solve_formula(
+                            formula,
+                            max_conflicts=checker.solver_max_conflicts,
+                            use_cube=checker.use_cube_and_conquer,
+                        )
+                    solved[formula] = data
+                    if cache is not None:
+                        cache.store(formula, data[:3])
+                verdict, ints, bools, seconds = data
+                occ = occurrences.get(formula, 0)
+                occurrences[formula] = occ + 1
+                hit: Optional[bool] = occ > 0 if cache is not None else None
+                checker._bump(
+                    verdict, cache_hit=hit, seconds=seconds if occ == 0 else 0.0
+                )
+                results.append(checker._materialize(formula, verdict, ints, bools))
+        finally:
+            self.close()
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+    @property
+    def pending(self) -> int:
+        return len(self._entries)

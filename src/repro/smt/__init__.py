@@ -36,7 +36,7 @@ from .terms import (
     structural_key,
     true,
 )
-from .simplify import quick_unsat, simplify_conjunction
+from .simplify import GuardPrefix, quick_unsat, simplify_conjunction
 from .solver import SAT, UNKNOWN, UNSAT, Model, Solver, is_satisfiable, solve_formula
 from .portfolio import cube_solve, cube_solve_model, pick_split_atoms
 
@@ -63,6 +63,7 @@ __all__ = [
     "not_",
     "or_",
     "true",
+    "GuardPrefix",
     "quick_unsat",
     "simplify_conjunction",
     "SAT",

@@ -29,7 +29,14 @@ from .terms import (
     Sub,
 )
 
-__all__ = ["DifferenceBound", "normalize_atom", "negate_bound", "DifferenceLogicSolver", "ZERO_NAME"]
+__all__ = [
+    "DifferenceBound",
+    "normalize_atom",
+    "negate_bound",
+    "DifferenceLogicSolver",
+    "IncrementalBoundStore",
+    "ZERO_NAME",
+]
 
 #: Name of the implicit variable fixed at 0 used to express unary bounds.
 ZERO_NAME = "$zero"
@@ -112,6 +119,99 @@ def _bound_from(lhs: IntTerm, rhs: IntTerm, slack: int) -> DifferenceBound:
 def negate_bound(b: DifferenceBound) -> DifferenceBound:
     """``not (x - y <= c)``  is  ``y - x <= -c - 1`` over the integers."""
     return DifferenceBound(b.y, b.x, -b.c - 1)
+
+
+class IncrementalBoundStore:
+    """Push/pop store of difference bounds with *incremental* consistency.
+
+    The non-incremental check (:func:`repro.smt.simplify.quick_unsat`)
+    re-runs Bellman-Ford over the whole conjunction for every candidate
+    path, which is O(V·E) per query.  This store instead maintains a
+    feasible potential function ``dist`` across assertions: adding the
+    bound ``x - y <= c`` only triggers label-correcting relaxation from
+    ``x`` when the new edge is violated, so the common case (the new
+    guard is compatible) costs O(out-edges of the touched region) — the
+    per-edge cost the mid-DFS pruner needs.
+
+    Infeasibility is detected the standard incremental way: the store is
+    consistent before each assertion, so a negative cycle must pass
+    through the new edge, and during relaxation some node then relaxes
+    more than |V| times.  Frames snapshot the touched potentials, so
+    ``pop`` restores the exact pre-push state in time proportional to
+    the work the push did.
+    """
+
+    def __init__(self) -> None:
+        # adjacency: y -> [(x, c)] for each bound  x - y <= c
+        self._edges: Dict[str, List[Tuple[str, int]]] = {}
+        self._dist: Dict[str, int] = {}
+        #: frames: (edge-sources added, first-touch dist snapshot, new nodes)
+        self._frames: List[Tuple[List[str], Dict[str, int], List[str]]] = []
+        self._unsat_depth: Optional[int] = None
+
+    @property
+    def unsat(self) -> bool:
+        return self._unsat_depth is not None
+
+    def push(self) -> None:
+        self._frames.append(([], {}, []))
+
+    def _ensure_node(self, name: str) -> None:
+        if name not in self._dist:
+            self._dist[name] = 0
+            self._edges.setdefault(name, [])
+            if self._frames:
+                self._frames[-1][2].append(name)
+
+    def assert_bound(self, bound: DifferenceBound) -> bool:
+        """Add ``x - y <= c``; returns True iff the store is now unsat."""
+        if self.unsat:
+            return True
+        if not self._frames:
+            self.push()
+        added, touched, _new_nodes = self._frames[-1]
+        self._ensure_node(bound.x)
+        self._ensure_node(bound.y)
+        self._edges[bound.y].append((bound.x, bound.c))
+        added.append(bound.y)
+        dist = self._dist
+        if dist[bound.y] + bound.c >= dist[bound.x]:
+            return False
+        # The new edge is violated: relax forward from x.  A feasible
+        # potential exists for the old system, so any node relaxing more
+        # than |V| times lies on a negative cycle through the new edge.
+        limit = len(dist)
+        counts: Dict[str, int] = {}
+        if bound.x not in touched:
+            touched[bound.x] = dist[bound.x]
+        dist[bound.x] = dist[bound.y] + bound.c
+        queue = [bound.x]
+        while queue:
+            u = queue.pop()
+            du = dist[u]
+            for v, w in self._edges[u]:
+                if du + w < dist[v]:
+                    if v not in touched:
+                        touched[v] = dist[v]
+                    dist[v] = du + w
+                    counts[v] = counts.get(v, 0) + 1
+                    if counts[v] > limit:
+                        self._unsat_depth = len(self._frames) - 1
+                        return True
+                    queue.append(v)
+        return False
+
+    def pop(self) -> None:
+        added, touched, new_nodes = self._frames.pop()
+        for y in reversed(added):
+            self._edges[y].pop()
+        for node, old in touched.items():
+            self._dist[node] = old
+        for node in new_nodes:
+            del self._dist[node]
+            del self._edges[node]
+        if self._unsat_depth is not None and self._unsat_depth >= len(self._frames):
+            self._unsat_depth = None
 
 
 class DifferenceLogicSolver:

@@ -114,6 +114,9 @@ class ValueFlowGraph:
         self._in: Dict[VFGNode, List[VFGEdge]] = {}
         self._edge_keys: set = set()
         self.num_edges = 0
+        #: bumped on every mutation — derived structures (e.g. the
+        #: sink-reachability indexes) record it to detect staleness
+        self.version = 0
 
     # ----- construction ---------------------------------------------------
 
@@ -155,6 +158,7 @@ class ValueFlowGraph:
         self._out.setdefault(dst, [])
         self._in.setdefault(src, [])
         self.num_edges += 1
+        self.version += 1
         return edge
 
     # ----- queries -----------------------------------------------------------
