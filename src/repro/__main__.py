@@ -84,6 +84,23 @@ def main(argv=None) -> int:
         action="store_true",
         help="print per-file timings, solver counters and cache hit rate",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist whole-run analysis reports under DIR: re-analyzing"
+        " an unchanged file in a later invocation skips every analysis pass",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the artifact cache (every pass always re-executes)",
+    )
+    parser.add_argument(
+        "--explain-cache",
+        action="store_true",
+        help="print the per-pass table and artifact hit/miss events",
+    )
     args = parser.parse_args(argv)
 
     checkers = tuple(c.strip() for c in args.checkers.split(",") if c.strip())
@@ -113,6 +130,9 @@ def main(argv=None) -> int:
         sink_reachability=not args.no_pruning,
         incremental_guard_pruning=not args.no_pruning,
         dead_state_memo=not args.no_pruning,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        explain_cache=args.explain_cache,
     )
     canary = Canary(config)
     total = 0
@@ -135,6 +155,11 @@ def main(argv=None) -> int:
             print()
         if args.stats:
             print(report.describe_statistics())
+            print()
+        if args.explain_cache:
+            print(report.describe_passes())
+            for event in report.cache_events:
+                print(f"cache: {event}")
             print()
         if args.show_vfg and report.bundle is not None:
             print(report.bundle.vfg.pretty())

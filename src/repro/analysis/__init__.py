@@ -1,6 +1,20 @@
 """Public analysis facade: :class:`Canary`, its config and report types."""
 
 from .config import AnalysisConfig
-from .driver import AnalysisReport, Canary
 
-__all__ = ["AnalysisConfig", "AnalysisReport", "Canary"]
+# driver first: its import chain reaches repro.pointer before
+# repro.threads, which is the only safe initialization order for that
+# (pre-existing) import cycle.  artifacts/passes hit threads first.
+from .driver import AnalysisReport, Canary
+from .artifacts import ArtifactStore
+from .passes import AnalysisPipeline, PassManager, PassRecord
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisPipeline",
+    "AnalysisReport",
+    "ArtifactStore",
+    "Canary",
+    "PassManager",
+    "PassRecord",
+]

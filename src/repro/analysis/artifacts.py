@@ -1,0 +1,132 @@
+"""Content-addressed artifact store for the pass pipeline.
+
+Two layers:
+
+* an **in-memory layer** scoped to one :class:`~repro.analysis.driver.Canary`
+  instance.  It holds *live* objects — lowered functions, dataflow
+  journals, the pointer/thread-structure triple, per-checker detection
+  results — keyed by content fingerprints plus object-identity validity
+  conditions checked at reuse time;
+* an optional **on-disk layer** (``cache_dir``) holding portable,
+  JSON-encoded whole-run reports keyed by the source text, filename and
+  config hash, so a warm re-run in a fresh process is near-instant.
+
+The store also owns the cross-run solver caches: one
+:class:`~repro.detection.realizability.VerdictCache` (Φ_all → verdict)
+and one :class:`~repro.detection.reachability.ReachabilityIndexCache`,
+both shared by every run of the owning driver.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..detection.reachability import ReachabilityIndexCache
+from ..detection.realizability import VerdictCache
+
+__all__ = ["ArtifactStore"]
+
+
+class ArtifactStore:
+    """Keyed artifact storage with hit/miss accounting and an event log."""
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir = cache_dir
+        self._memory: Dict[Tuple[str, Any], Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.events: List[str] = []
+        #: Φ_all → verdict memo shared across runs (PR 1)
+        self.verdict_cache = VerdictCache()
+        #: sink-set → backward reachability index memo shared across runs (PR 2)
+        self.index_cache = ReachabilityIndexCache()
+        if cache_dir:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # ----- event log ------------------------------------------------------
+
+    def note(self, event: str) -> None:
+        self.events.append(event)
+
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "artifact_hits": self.hits,
+            "artifact_misses": self.misses,
+            "artifacts_stored": len(self._memory),
+        }
+
+    # ----- in-memory layer -------------------------------------------------
+
+    def get(self, namespace: str, key: Any) -> Optional[Any]:
+        value = self._memory.get((namespace, key))
+        if value is None:
+            self.misses += 1
+            self.note(f"miss {namespace}")
+        else:
+            self.hits += 1
+            self.note(f"hit {namespace}")
+        return value
+
+    def put(self, namespace: str, key: Any, value: Any) -> Any:
+        self._memory[(namespace, key)] = value
+        self.note(f"store {namespace}")
+        return value
+
+    def setdefault(self, namespace: str, key: Any, factory) -> Any:
+        value = self._memory.get((namespace, key))
+        if value is None:
+            value = factory()
+            self._memory[(namespace, key)] = value
+        return value
+
+    # ----- on-disk layer -----------------------------------------------------
+
+    def _disk_path(self, namespace: str, digest: str) -> Optional[str]:
+        if not self.cache_dir:
+            return None
+        return os.path.join(self.cache_dir, f"{namespace}-{digest}.json")
+
+    def get_disk(self, namespace: str, digest: str) -> Optional[dict]:
+        path = self._disk_path(namespace, digest)
+        if path is None:
+            return None
+        try:
+            with open(path, encoding="utf-8") as fh:
+                value = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            self.note(f"miss disk:{namespace}")
+            return None
+        self.hits += 1
+        self.note(f"hit disk:{namespace}")
+        return value
+
+    def put_disk(self, namespace: str, digest: str, value: dict) -> None:
+        path = self._disk_path(namespace, digest)
+        if path is None:
+            return
+        # Atomic publish: a concurrent reader sees the old file or the new
+        # one, never a torn write.
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(value, fh, default=str)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        self.note(f"store disk:{namespace}")
+
+    # ----- housekeeping -------------------------------------------------------
+
+    def begin_run(self) -> None:
+        """Bound cross-run growth of the shared reachability cache: old
+        entries are keyed by dead VFGs and can never hit again."""
+        if len(self.index_cache) > 32:
+            self.index_cache = ReachabilityIndexCache()

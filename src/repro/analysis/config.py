@@ -9,10 +9,16 @@ ablation benchmarks called out in DESIGN.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass, fields
 from typing import Optional, Tuple
 
-__all__ = ["AnalysisConfig"]
+__all__ = ["AnalysisConfig", "CACHE_ONLY_FIELDS"]
+
+#: fields that select *where* results are cached, not *what* is computed —
+#: they are excluded from :meth:`AnalysisConfig.cache_key` so toggling
+#: them never invalidates artifacts.
+CACHE_ONLY_FIELDS = frozenset({"cache_dir", "use_cache", "explain_cache"})
 
 
 @dataclass(frozen=True)
@@ -76,3 +82,23 @@ class AnalysisConfig:
     #: record solver-refuted candidates with the refutation reason
     #: (guard-contradiction vs order-violation) in the report
     collect_suppressed: bool = False
+    #: artifact caching: reuse phase artifacts across runs of one driver
+    #: (in memory) and, with ``cache_dir`` set, whole-run reports across
+    #: processes (on disk).  ``explain_cache`` records hit/miss events.
+    use_cache: bool = True
+    cache_dir: Optional[str] = None
+    explain_cache: bool = False
+
+    def cache_key(self) -> str:
+        """A stable content hash over every knob that can change analysis
+        results.  Two configs with equal keys are interchangeable for
+        artifact-cache purposes; any analysis-relevant difference —
+        solver, search, ablation or extension knobs alike — yields a
+        different key.  Cache-plumbing fields are excluded.
+        """
+        h = hashlib.sha256()
+        for f in sorted(fields(self), key=lambda f: f.name):
+            if f.name in CACHE_ONLY_FIELDS:
+                continue
+            h.update(f"{f.name}={getattr(self, f.name)!r};".encode())
+        return h.hexdigest()[:16]

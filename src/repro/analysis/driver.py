@@ -4,24 +4,26 @@
 construction (Alg. 1 + Alg. 2) → guarded source–sink checking, and
 returns an :class:`AnalysisReport` with the confirmed bugs and the
 phase-by-phase statistics used by the benchmarks.
+
+Since PR 3 the driver is a facade over the staged pass pipeline
+(:mod:`repro.analysis.passes`): each phase is a named pass, and a
+content-addressed :class:`~repro.analysis.artifacts.ArtifactStore`
+owned by the driver lets repeated runs skip passes whose input hashes
+are unchanged — a warm re-run of identical input executes no analysis
+pass at all, and after editing one function only the passes downstream
+of the change re-execute.
 """
 
 from __future__ import annotations
 
-import time
-import tracemalloc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
-from ..checkers import ALL_CHECKERS, BugReport
-from ..detection.reachability import ReachabilityIndexCache
-from ..detection.realizability import RealizabilityChecker, VerdictCache
-from ..detection.search import SearchLimits
-from ..frontend import parse_program
+from ..checkers import BugReport
 from ..frontend.ast_nodes import Program
 from ..ir.module import IRModule
-from ..lowering import lower_program
-from ..vfg.builder import VFGBundle, build_vfg
+from ..vfg.builder import VFGBundle
+from .artifacts import ArtifactStore
 from .config import AnalysisConfig
 
 __all__ = ["Canary", "AnalysisReport"]
@@ -44,6 +46,12 @@ class AnalysisReport:
     search_statistics: Dict[str, Dict[str, int]] = field(default_factory=dict)
     #: soundness warnings: searches that hit a bound (enumeration truncated)
     truncation_warnings: List[str] = field(default_factory=list)
+    #: uniform per-pass rows: {name, status ('run'|'cached'), seconds, detail}
+    pass_statistics: List[Dict[str, Any]] = field(default_factory=list)
+    #: artifact-store hit/miss counters plus run/cached pass counts
+    cache_statistics: Dict[str, int] = field(default_factory=dict)
+    #: per-artifact hit/miss/store events (populated with explain_cache)
+    cache_events: List[str] = field(default_factory=list)
     bundle: Optional[VFGBundle] = None
 
     @property
@@ -55,6 +63,10 @@ class AnalysisReport:
         hits = self.solver_statistics.get("cache_hits", 0)
         misses = self.solver_statistics.get("cache_misses", 0)
         return hits / (hits + misses) if hits + misses else 0.0
+
+    def passes_run(self) -> List[str]:
+        """Names of the passes that actually executed (not cached)."""
+        return [p["name"] for p in self.pass_statistics if p["status"] == "run"]
 
     def describe_statistics(self) -> str:
         """One-line solving summary for the CLI / logs."""
@@ -74,6 +86,11 @@ class AnalysisReport:
             f" cache {s.get('cache_hits', 0)}/{s.get('cache_hits', 0) + s.get('cache_misses', 0)}"
             f" hits ({100.0 * self.cache_hit_rate:.0f}%)",
         ]
+        if self.pass_statistics:
+            run = len(self.passes_run())
+            lines.append(
+                f"passes: {run} run / {len(self.pass_statistics) - run} cached"
+            )
         if phases:
             lines.append(f"checkers: {phases}")
         totals: Dict[str, int] = {}
@@ -91,6 +108,17 @@ class AnalysisReport:
             lines.append(f"warning: {warning}")
         return "\n".join(lines)
 
+    def describe_passes(self) -> str:
+        """The per-pass table (name, status, seconds) for the CLI."""
+        width = max((len(p["name"]) for p in self.pass_statistics), default=4)
+        lines = [f"{'pass':<{width}}  status  seconds"]
+        for p in self.pass_statistics:
+            line = f"{p['name']:<{width}}  {p['status']:<6}  {p['seconds']:7.3f}"
+            if p.get("detail"):
+                line += f"  {p['detail']}"
+            lines.append(line)
+        return "\n".join(lines)
+
     def describe(self) -> str:
         lines = [
             f"Canary: {self.num_reports} report(s)"
@@ -104,124 +132,45 @@ class AnalysisReport:
 
 
 class Canary:
-    """Facade over the whole analysis.  Thread-safe for separate inputs."""
+    """Facade over the whole analysis.
 
-    def __init__(self, config: AnalysisConfig = AnalysisConfig()) -> None:
-        self.config = config
+    The driver owns an :class:`ArtifactStore`: repeated ``analyze_*``
+    calls on one instance reuse phase artifacts whose content hashes are
+    unchanged (disable with ``AnalysisConfig(use_cache=False)``).
+    """
+
+    def __init__(
+        self,
+        config: Optional[AnalysisConfig] = None,
+        store: Optional[ArtifactStore] = None,
+    ) -> None:
+        # A fresh config per instance: a shared default instance would
+        # leak artifact state between unrelated drivers.
+        self.config = config if config is not None else AnalysisConfig()
+        if store is None:
+            store = ArtifactStore(
+                self.config.cache_dir if self.config.use_cache else None
+            )
+        self.store = store
+
+    def _pipeline(self):
+        from .passes import AnalysisPipeline
+
+        return AnalysisPipeline(self.config, self.store)
 
     # ----- pipeline entry points ---------------------------------------------
 
     def analyze_source(
         self, source: str, filename: str = "<input>", track_memory: bool = False
     ) -> AnalysisReport:
-        t0 = time.perf_counter()
-        ast = parse_program(source, filename)
-        parse_seconds = time.perf_counter() - t0
-        report = self.analyze_ast(ast, track_memory=track_memory)
-        report.timings["parse"] = parse_seconds
-        return report
+        return self._pipeline().analyze_source(
+            source, filename, track_memory=track_memory
+        )
 
     def analyze_ast(self, ast: Program, track_memory: bool = False) -> AnalysisReport:
-        t0 = time.perf_counter()
-        module = lower_program(ast, unroll_depth=self.config.unroll_depth)
-        lower_seconds = time.perf_counter() - t0
-        report = self.analyze_module(module, track_memory=track_memory)
-        report.timings["lowering"] = lower_seconds
-        return report
+        return self._pipeline().analyze_ast(ast, track_memory=track_memory)
 
     def analyze_module(
         self, module: IRModule, track_memory: bool = False
     ) -> AnalysisReport:
-        cfg = self.config
-        if track_memory:
-            tracemalloc.start()
-        t0 = time.perf_counter()
-        bundle = build_vfg(
-            module,
-            max_content_entries=cfg.max_content_entries,
-            max_interference_rounds=cfg.max_interference_rounds,
-            prune_guards=cfg.prune_guards,
-            use_mhp=cfg.use_mhp,
-        )
-        vfg_seconds = time.perf_counter() - t0
-
-        t1 = time.perf_counter()
-        lock_analysis = None
-        if cfg.model_locks:
-            from ..threads.locks import LockAnalysis
-
-            lock_analysis = LockAnalysis(module)
-        realizability = RealizabilityChecker(
-            bundle,
-            use_cube_and_conquer=cfg.cube_and_conquer,
-            solver_max_conflicts=cfg.solver_max_conflicts,
-            order_constraints=cfg.order_constraints,
-            lock_analysis=lock_analysis,
-            memory_model=cfg.memory_model,
-            backend=cfg.solver_backend,
-            cache=VerdictCache() if cfg.verdict_cache else None,
-        )
-        limits = SearchLimits(
-            max_depth=cfg.max_path_depth,
-            max_paths_per_source=cfg.max_paths_per_source,
-            max_visits=cfg.max_search_visits,
-            context_depth=cfg.context_depth,
-        )
-        # One cache per run: checkers sharing a sink class (e.g. the
-        # dereference sinks of use-after-free and null-deref) share the
-        # backward reachability index instead of rebuilding it.
-        index_cache = ReachabilityIndexCache()
-        bugs: List[BugReport] = []
-        suppressed: List = []
-        checker_statistics: Dict[str, Dict[str, int]] = {}
-        search_statistics: Dict[str, Dict[str, int]] = {}
-        truncation_warnings: List[str] = []
-        for name in cfg.checkers:
-            checker_cls = ALL_CHECKERS[name]
-            checker = checker_cls(
-                bundle,
-                limits=limits,
-                realizability=realizability,
-                inter_thread_only=cfg.inter_thread_only,
-                max_reports_per_source=cfg.max_reports_per_source,
-                collect_suppressed=cfg.collect_suppressed,
-                parallel_solving=cfg.parallel_solving,
-                solver_workers=cfg.solver_workers,
-                solver_backend=cfg.solver_backend,
-                sink_reachability=cfg.sink_reachability,
-                guard_pruning=cfg.incremental_guard_pruning,
-                dead_memo=cfg.dead_state_memo,
-                index_cache=index_cache,
-                streaming=cfg.streaming_solving,
-                enumeration_workers=cfg.enumeration_workers,
-            )
-            bugs.extend(checker.run())
-            suppressed.extend(checker.suppressed)
-            checker_statistics[name] = dict(checker.statistics)
-            search_statistics[name] = checker.search_stats.as_dict()
-            truncation_warnings.extend(
-                f"{name}: {event.describe()}" for event in checker.truncation_events
-            )
-        check_seconds = time.perf_counter() - t1
-
-        peak = 0
-        if track_memory:
-            _current, peak = tracemalloc.get_traced_memory()
-            tracemalloc.stop()
-
-        return AnalysisReport(
-            bugs=bugs,
-            suppressed=suppressed,
-            vfg_summary=bundle.summary(),
-            timings={
-                "vfg": vfg_seconds,
-                "checking": check_seconds,
-                "solving": realizability.statistics.get("solve_seconds", 0.0),
-            },
-            peak_memory_bytes=peak,
-            solver_statistics=dict(realizability.statistics),
-            checker_statistics=checker_statistics,
-            search_statistics=search_statistics,
-            truncation_warnings=truncation_warnings,
-            bundle=bundle,
-        )
+        return self._pipeline().analyze_module(module, track_memory=track_memory)

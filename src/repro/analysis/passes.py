@@ -1,0 +1,530 @@
+"""The staged pass pipeline behind :class:`~repro.analysis.driver.Canary`.
+
+Each phase of the paper's Fig. 1 — parse, bound/lower, IR verification,
+pointer analysis, thread call graph, MHP, Alg. 1 data dependence,
+Alg. 2 interference, per-checker detection — is a named *pass* run by a
+:class:`PassManager` that records a uniform (status, seconds, detail)
+row per pass.  The :class:`AnalysisPipeline` threads content-addressed
+artifacts from the :class:`~repro.analysis.artifacts.ArtifactStore`
+between passes, so a pass whose input hashes are unchanged is skipped
+(status ``cached``) instead of re-executed:
+
+* **run key** (source text + filename + config hash) — a warm re-run of
+  identical input returns the memoized report without executing any
+  analysis pass; with ``cache_dir`` the portable report also survives
+  process restarts;
+* **per-function AST fingerprints** — unchanged functions reuse their
+  lowered IR objects (label blocks keep all labels stable);
+* **dataflow journal** — Alg. 1 replays the recorded VFG mutations for
+  the unchanged prefix of the bottom-up function order;
+* **module skeleton** — the pointer/thread-structure triple
+  (Steensgaard, thread call graph, MHP) is reused whenever the label
+  layout, opcodes and call/fork/join/lock structure are unchanged;
+* **detection region fingerprint** — a checker re-runs only when the
+  backward-reachable VFG region of its sinks (plus its sources and the
+  store index feeding Φ_ls) changed.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..checkers import ALL_CHECKERS, BugReport
+from ..detection.reachability import ReachabilityIndexCache
+from ..detection.realizability import RealizabilityChecker, VerdictCache
+from ..detection.search import SearchLimits
+from ..frontend import parse_program
+from ..frontend.ast_nodes import Program
+from ..ir.module import IRModule
+from ..ir.verifier import verify_module
+from ..lowering import LoweringCache, lower_program_incremental
+from ..pointer.steensgaard import steensgaard
+from ..threads.callgraph import build_thread_call_graph
+from ..threads.mhp import MhpAnalysis
+from ..vfg.builder import VFGBundle
+from ..vfg.dataflow import DataDependenceAnalysis, DataflowJournal
+from ..vfg.graph import ObjNode, VFGNode
+from ..vfg.interference import InterferenceAnalysis
+from .artifacts import ArtifactStore
+from .config import AnalysisConfig
+from .driver import AnalysisReport
+from .fingerprint import (
+    module_skeleton,
+    report_from_portable,
+    report_to_portable,
+    run_digest,
+)
+
+__all__ = ["AnalysisPipeline", "PassManager", "PassRecord"]
+
+
+@dataclass
+class PassRecord:
+    """One row of the pipeline's uniform pass accounting."""
+
+    name: str
+    status: str  # 'run' | 'cached'
+    seconds: float = 0.0
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "seconds": self.seconds,
+            "detail": self.detail,
+        }
+
+
+class PassManager:
+    """Runs named passes, timing each and recording a uniform row."""
+
+    def __init__(self) -> None:
+        self.records: List[PassRecord] = []
+
+    def run(self, name: str, fn, detail: str = "") -> Any:
+        t0 = time.perf_counter()
+        result = fn()
+        self.records.append(
+            PassRecord(name, "run", time.perf_counter() - t0, detail)
+        )
+        return result
+
+    def cached(self, name: str, detail: str = "") -> None:
+        self.records.append(PassRecord(name, "cached", 0.0, detail))
+
+    def record(self, name: str, status: str, seconds: float, detail: str = "") -> None:
+        self.records.append(PassRecord(name, status, seconds, detail))
+
+    # ----- reporting --------------------------------------------------------
+
+    def seconds_of(self, *names: str) -> float:
+        """Total wall time of passes whose name matches or is a
+        ``name:`` prefix (e.g. ``dataflow`` sums every ``dataflow:f``)."""
+        total = 0.0
+        for rec in self.records:
+            if rec.name in names or any(
+                rec.name.startswith(n + ":") for n in names
+            ):
+                total += rec.seconds
+        return total
+
+    def counts(self) -> Dict[str, int]:
+        run = sum(1 for r in self.records if r.status == "run")
+        return {"run": run, "cached": len(self.records) - run}
+
+    def statistics(self) -> List[Dict[str, Any]]:
+        return [r.as_dict() for r in self.records]
+
+
+class AnalysisPipeline:
+    """One analysis run, staged over the artifact store."""
+
+    def __init__(self, config: AnalysisConfig, store: ArtifactStore) -> None:
+        self.config = config
+        self.store = store
+        self.pm = PassManager()
+
+    # ----- entry points -----------------------------------------------------
+
+    def analyze_source(
+        self, source: str, filename: str = "<input>", track_memory: bool = False
+    ) -> AnalysisReport:
+        cfg = self.config
+        caching = cfg.use_cache and not track_memory
+        self.store.begin_run()
+        events_mark = len(self.store.events)
+        digest = run_digest(source, filename, cfg.cache_key())
+        if caching:
+            hit = self.store.get("run", digest)
+            if hit is not None:
+                return self._replay_memoized_run(hit, events_mark)
+        ast = self.pm.run("parse", lambda: parse_program(source, filename))
+        module = self._lower(ast, filename, caching)
+        if caching and cfg.cache_dir:
+            data = self.store.get_disk("run", digest)
+            if data is not None:
+                report = self._rehydrate_disk_run(data, module, events_mark)
+                if report is not None:
+                    self.store.put("run", digest, {"report": report, "module": module})
+                    return report
+        report = self._analyze_module(
+            module, lineage=filename, track_memory=track_memory, caching=caching
+        )
+        report.timings["parse"] = self.pm.seconds_of("parse")
+        report.timings["lowering"] = self.pm.seconds_of("lower")
+        if caching:
+            self.store.put("run", digest, {"report": report, "module": module})
+            if cfg.cache_dir:
+                portable = report_to_portable(report)
+                portable["pass_statistics"] = report.pass_statistics
+                self.store.put_disk("run", digest, portable)
+        return report
+
+    def analyze_ast(self, ast: Program, track_memory: bool = False) -> AnalysisReport:
+        caching = self.config.use_cache and not track_memory
+        self.store.begin_run()
+        module = self._lower(ast, None, caching)
+        report = self._analyze_module(
+            module, lineage=None, track_memory=track_memory, caching=caching
+        )
+        report.timings["lowering"] = self.pm.seconds_of("lower")
+        return report
+
+    def analyze_module(
+        self, module: IRModule, track_memory: bool = False
+    ) -> AnalysisReport:
+        self.store.begin_run()
+        caching = self.config.use_cache and not track_memory
+        return self._analyze_module(
+            module, lineage=None, track_memory=track_memory, caching=caching
+        )
+
+    # ----- cached-run replay ------------------------------------------------
+
+    def _replay_memoized_run(self, hit: dict, events_mark: int) -> AnalysisReport:
+        """Whole-run memory hit: return a fresh report sharing the stored
+        (still live) results — no pass executes."""
+        stored: AnalysisReport = hit["report"]
+        for row in stored.pass_statistics or ({"name": "pipeline"},):
+            self.pm.cached(row["name"], detail="run cache")
+        report = AnalysisReport(
+            bugs=list(stored.bugs),
+            suppressed=list(stored.suppressed),
+            vfg_summary=dict(stored.vfg_summary),
+            timings={k: 0.0 for k in ("parse", "lowering", "vfg", "checking", "solving")},
+            solver_statistics=dict(stored.solver_statistics),
+            checker_statistics={k: dict(v) for k, v in stored.checker_statistics.items()},
+            search_statistics={k: dict(v) for k, v in stored.search_statistics.items()},
+            truncation_warnings=list(stored.truncation_warnings),
+            bundle=stored.bundle,
+        )
+        self._finish_report(report, events_mark)
+        return report
+
+    def _rehydrate_disk_run(
+        self, data: dict, module: IRModule, events_mark: int
+    ) -> Optional[AnalysisReport]:
+        """Disk hit: parse+lower ran live (labels are deterministic), the
+        remaining passes rehydrate from the portable record."""
+        try:
+            report = report_from_portable(data, module)
+        except KeyError:
+            self.store.note("stale disk:run")
+            return None
+        for row in data.get("pass_statistics", ()):
+            if row["name"] not in ("parse", "lower"):
+                self.pm.cached(row["name"], detail="disk run cache")
+        report.timings = {
+            "parse": self.pm.seconds_of("parse"),
+            "lowering": self.pm.seconds_of("lower"),
+            "vfg": 0.0,
+            "checking": 0.0,
+            "solving": 0.0,
+        }
+        self._finish_report(report, events_mark)
+        return report
+
+    # ----- phases -----------------------------------------------------------
+
+    def _lower(
+        self, ast: Program, lineage: Optional[str], caching: bool
+    ) -> IRModule:
+        cfg = self.config
+        cache: Optional[LoweringCache] = None
+        if caching and lineage is not None:
+            cache = self.store.setdefault(
+                "lowering", (lineage, cfg.unroll_depth), LoweringCache
+            )
+        module, reused = self.pm.run(
+            "lower",
+            lambda: lower_program_incremental(
+                ast, unroll_depth=cfg.unroll_depth, cache=cache
+            ),
+        )
+        self.pm.records[-1].detail = (
+            f"reused {len(reused)}/{len(module.functions)} function(s)"
+        )
+        if reused:
+            self.store.note(f"hit lowering:{','.join(reused)}")
+        return module
+
+    def _analyze_module(
+        self,
+        module: IRModule,
+        lineage: Optional[str],
+        track_memory: bool,
+        caching: bool,
+    ) -> AnalysisReport:
+        cfg = self.config
+        pm = self.pm
+        events_mark = len(self.store.events)
+        if track_memory:
+            tracemalloc.start()
+
+        verification = pm.run("verify", lambda: verify_module(module, strict=False))
+        pm.records[-1].detail = (
+            f"{len(verification.errors)} error(s),"
+            f" {len(verification.warnings)} warning(s)"
+        )
+
+        # -- pointer / thread structure (skeleton-keyed reuse) --------------
+        skeleton = module_skeleton(module)
+        triple = None
+        tkey = (lineage, cfg.unroll_depth)
+        if caching and lineage is not None:
+            entry = self.store.get("threads", tkey)
+            if entry is not None and entry["skeleton"] == skeleton:
+                triple = entry
+        if triple is not None:
+            pointsto, tcg, mhp = triple["pointsto"], triple["tcg"], triple["mhp"]
+            pm.cached("pointer", detail="skeleton unchanged")
+            pm.cached("tcg", detail="skeleton unchanged")
+            pm.cached("mhp", detail="skeleton unchanged")
+        else:
+            pointsto = pm.run("pointer", lambda: steensgaard(module))
+            tcg = pm.run("tcg", lambda: build_thread_call_graph(module, pointsto))
+            mhp = pm.run("mhp", lambda: MhpAnalysis(tcg))
+            if caching and lineage is not None:
+                self.store.put(
+                    "threads",
+                    tkey,
+                    {"skeleton": skeleton, "pointsto": pointsto, "tcg": tcg, "mhp": mhp},
+                )
+
+        # -- Alg. 1 data dependence (journaled, per-function passes) --------
+        journal: Optional[DataflowJournal] = None
+        if caching and lineage is not None:
+            journal = self.store.setdefault(
+                "dataflow",
+                (lineage, cfg.max_content_entries, cfg.prune_guards),
+                DataflowJournal,
+            )
+        dataflow = DataDependenceAnalysis(
+            module,
+            tcg,
+            max_content_entries=cfg.max_content_entries,
+            prune_guards=cfg.prune_guards,
+        )
+        dataflow.run(journal)
+        for fname, status, seconds in dataflow.function_trace:
+            pm.record(f"dataflow:{fname}", status, seconds)
+
+        # -- Alg. 2 interference (always recomputed: global fixpoint) -------
+        def run_interference() -> InterferenceAnalysis:
+            analysis = InterferenceAnalysis(
+                dataflow,
+                mhp,
+                max_rounds=cfg.max_interference_rounds,
+                use_mhp=cfg.use_mhp,
+                prune_guards=cfg.prune_guards,
+            )
+            analysis.run()
+            return analysis
+
+        interference = pm.run("interference", run_interference)
+        pm.records[-1].detail = (
+            f"{interference.interference_edge_count} interference edge(s)"
+        )
+
+        bundle = VFGBundle(
+            module=module,
+            vfg=dataflow.vfg,
+            tcg=tcg,
+            mhp=mhp,
+            dataflow=dataflow,
+            interference=interference,
+            pointsto=pointsto,
+            build_seconds=pm.seconds_of(
+                "pointer", "tcg", "mhp", "dataflow", "interference"
+            ),
+        )
+
+        # -- detection ------------------------------------------------------
+        lock_analysis = None
+        if cfg.model_locks:
+            from ..threads.locks import LockAnalysis
+
+            lock_analysis = LockAnalysis(module)
+        realizability = RealizabilityChecker(
+            bundle,
+            use_cube_and_conquer=cfg.cube_and_conquer,
+            solver_max_conflicts=cfg.solver_max_conflicts,
+            order_constraints=cfg.order_constraints,
+            lock_analysis=lock_analysis,
+            memory_model=cfg.memory_model,
+            backend=cfg.solver_backend,
+            cache=self._verdict_cache(caching),
+        )
+        limits = SearchLimits(
+            max_depth=cfg.max_path_depth,
+            max_paths_per_source=cfg.max_paths_per_source,
+            max_visits=cfg.max_search_visits,
+            context_depth=cfg.context_depth,
+        )
+        index_cache = (
+            self.store.index_cache if caching else ReachabilityIndexCache()
+        )
+        bugs: List[BugReport] = []
+        suppressed: List = []
+        checker_statistics: Dict[str, Dict[str, int]] = {}
+        search_statistics: Dict[str, Dict[str, int]] = {}
+        truncation_warnings: List[str] = []
+        for name in cfg.checkers:
+            checker = ALL_CHECKERS[name](
+                bundle,
+                limits=limits,
+                realizability=realizability,
+                inter_thread_only=cfg.inter_thread_only,
+                max_reports_per_source=cfg.max_reports_per_source,
+                collect_suppressed=cfg.collect_suppressed,
+                parallel_solving=cfg.parallel_solving,
+                solver_workers=cfg.solver_workers,
+                solver_backend=cfg.solver_backend,
+                sink_reachability=cfg.sink_reachability,
+                guard_pruning=cfg.incremental_guard_pruning,
+                dead_memo=cfg.dead_state_memo,
+                index_cache=index_cache,
+                streaming=cfg.streaming_solving,
+                enumeration_workers=cfg.enumeration_workers,
+            )
+            fingerprint = None
+            if caching and lineage is not None:
+                fingerprint = self._detection_fingerprint(checker, bundle, skeleton)
+                prev = self.store.get("detect", (lineage, name))
+                if prev is not None and prev["fingerprint"] == fingerprint:
+                    pm.cached(
+                        f"detect:{name}",
+                        detail=f"{len(prev['bugs'])} report(s), sink region unchanged",
+                    )
+                    bugs.extend(prev["bugs"])
+                    suppressed.extend(prev["suppressed"])
+                    checker_statistics[name] = dict(prev["checker_stats"])
+                    search_statistics[name] = dict(prev["search_stats"])
+                    truncation_warnings.extend(prev["truncations"])
+                    continue
+            found = pm.run(f"detect:{name}", checker.run)
+            pm.records[-1].detail = f"{len(found)} report(s)"
+            truncations = [
+                f"{name}: {event.describe()}" for event in checker.truncation_events
+            ]
+            bugs.extend(found)
+            suppressed.extend(checker.suppressed)
+            checker_statistics[name] = dict(checker.statistics)
+            search_statistics[name] = checker.search_stats.as_dict()
+            truncation_warnings.extend(truncations)
+            if fingerprint is not None:
+                self.store.put(
+                    "detect",
+                    (lineage, name),
+                    {
+                        "fingerprint": fingerprint,
+                        "bugs": list(found),
+                        "suppressed": list(checker.suppressed),
+                        "checker_stats": dict(checker.statistics),
+                        "search_stats": checker.search_stats.as_dict(),
+                        "truncations": truncations,
+                    },
+                )
+
+        peak = 0
+        if track_memory:
+            _current, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+
+        report = AnalysisReport(
+            bugs=bugs,
+            suppressed=suppressed,
+            vfg_summary=bundle.summary(),
+            timings={
+                "vfg": bundle.build_seconds + pm.seconds_of("verify"),
+                "checking": pm.seconds_of("detect"),
+                "solving": realizability.statistics.get("solve_seconds", 0.0),
+            },
+            peak_memory_bytes=peak,
+            solver_statistics=dict(realizability.statistics),
+            checker_statistics=checker_statistics,
+            search_statistics=search_statistics,
+            truncation_warnings=truncation_warnings,
+            bundle=bundle,
+        )
+        self._finish_report(report, events_mark)
+        return report
+
+    # ----- helpers ----------------------------------------------------------
+
+    def _verdict_cache(self, caching: bool) -> Optional[VerdictCache]:
+        if not self.config.verdict_cache:
+            return None
+        # Terms are hash-consed, so Φ_all → verdict entries stay valid
+        # across runs; share the store's cache for cross-run reuse.
+        return self.store.verdict_cache if caching else VerdictCache()
+
+    def _detection_fingerprint(
+        self, checker, bundle: VFGBundle, skeleton: str
+    ) -> Tuple:
+        """Everything the checker's verdicts can depend on.
+
+        With sink-directed pruning the DFS never leaves the backward-
+        reachable region of the sink set, so the fingerprint covers that
+        region's edges (plus its frontier — out-edges of region nodes
+        drive enumeration order and prune counters), the checker's
+        sources, and the Φ_ls store index of every object the region
+        mentions.  Without pruning (or without a sink set) the search
+        may roam the whole graph, so the whole edge set is the region.
+
+        Node/guard/instruction components compare by identity (or by
+        hash-consed structural identity for terms): unchanged functions
+        keep their lowered objects, so an untouched region compares
+        equal across runs while any relowered function in it forces a
+        mismatch — conservative in exactly the right direction.
+        """
+        cfg = self.config
+        vfg = bundle.vfg
+        sinks = checker.sink_node_set()
+        if sinks and cfg.sink_reachability:
+            region: Set[VFGNode] = set(sinks)
+            frontier = list(sinks)
+            while frontier:
+                node = frontier.pop()
+                for edge in vfg.in_edges(node):
+                    if edge.src not in region:
+                        region.add(edge.src)
+                        frontier.append(edge.src)
+            edges = frozenset(
+                e for e in vfg.edges() if e.src in region or e.dst in region
+            )
+        else:
+            region = set(vfg.nodes())
+            edges = frozenset(vfg.edges())
+        sources: FrozenSet = frozenset(
+            (origin, inst, guard) for origin, inst, guard in checker.sources()
+        )
+        objs = {e.obj for e in edges if e.obj is not None}
+        objs.update(n.obj for n in region if isinstance(n, ObjNode))
+        object_stores = frozenset(
+            (obj, store, guard)
+            for obj in objs
+            for store, guard in bundle.object_stores.get(obj, ())
+        )
+        return (
+            "fp1",
+            cfg.cache_key(),
+            skeleton,
+            frozenset(sinks) if sinks else None,
+            edges,
+            sources,
+            object_stores,
+        )
+
+    def _finish_report(self, report: AnalysisReport, events_mark: int) -> None:
+        report.pass_statistics = self.pm.statistics()
+        report.cache_statistics = {
+            **self.store.statistics(),
+            **self.pm.counts(),
+        }
+        if self.config.explain_cache:
+            report.cache_events = list(self.store.events[events_mark:])

@@ -86,7 +86,9 @@ def run_subject(
     run = SubjectRun(subject=subject, lines=lines)
 
     if "canary" in tools:
-        canary = Canary(AnalysisConfig())
+        # Caching off: the driver's cross-run artifact/verdict caches would
+        # otherwise make repeated measurements of one subject meaningless.
+        canary = Canary(AnalysisConfig(use_cache=False))
 
         meas = measure(
             lambda: canary.analyze_module(module), track_memory=track_memory

@@ -1,0 +1,65 @@
+"""Structural fingerprints of AST nodes.
+
+The incremental pipeline decides whether a function must be re-lowered
+by comparing content hashes of its (unrolled) AST.  The fingerprint is
+*structural*: it covers node types, names, operators and literals but
+ignores :class:`~repro.frontend.source.Location` fields, so reformatting
+or edits elsewhere in the file do not invalidate a function.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Iterable, List
+
+from .ast_nodes import FuncDef, Program
+
+__all__ = ["ast_fingerprint", "program_context_fingerprint", "stable_digest"]
+
+
+def stable_digest(parts: Iterable[str]) -> str:
+    """A short, process-independent digest of an iterable of strings."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8", "backslashreplace"))
+        h.update(b"\x1f")
+    return h.hexdigest()[:16]
+
+
+def _encode(obj, out: List[str]) -> None:
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out.append(type(obj).__name__)
+        for f in dataclasses.fields(obj):
+            if f.name == "location":
+                continue
+            _encode(getattr(obj, f.name), out)
+        out.append(";")
+    elif isinstance(obj, (list, tuple)):
+        out.append(f"[{len(obj)}")
+        for item in obj:
+            _encode(item, out)
+        out.append("]")
+    else:
+        out.append(repr(obj))
+
+
+def ast_fingerprint(node) -> str:
+    """Content hash of one AST subtree (typically a :class:`FuncDef`)."""
+    out: List[str] = []
+    _encode(node, out)
+    return stable_digest(out)
+
+
+def program_context_fingerprint(program: Program, unroll_depth: int) -> str:
+    """Hash of everything *outside* a function that its lowering depends
+    on: the ordered function list (names and arities fix both label-block
+    positions and ``FunctionRef`` resolution), global and extern names,
+    and the unroll depth.  A context change forces a full re-lowering.
+    """
+    parts = [f"unroll={unroll_depth}"]
+    for i, func in enumerate(program.functions):
+        parts.append(f"fn:{i}:{func.name}/{len(func.params)}")
+    parts.extend(f"glob:{g.name}" for g in program.globals)
+    parts.extend(f"ext:{e.name}" for e in program.externs)
+    return stable_digest(parts)

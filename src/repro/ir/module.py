@@ -9,7 +9,12 @@ from ..smt.terms import BoolTerm
 from .instructions import Instruction, ReturnInst
 from .values import MemObject, SymbolicConstant, Value, Variable
 
-__all__ = ["IRFunction", "IRModule"]
+__all__ = ["IRFunction", "IRModule", "LABEL_BLOCK_STRIDE"]
+
+#: Labels are allocated in per-function blocks of this size (see
+#: :meth:`IRModule.begin_label_block`) so that editing one function
+#: cannot shift the labels — and hence the bug keys — of any other.
+LABEL_BLOCK_STRIDE = 1 << 20
 
 
 @dataclass(eq=False)
@@ -52,11 +57,49 @@ class IRModule:
     _labels: Dict[int, Instruction] = field(default_factory=dict)
     _label_func: Dict[int, str] = field(default_factory=dict)
     _next_label: int = 0
+    #: exclusive upper bound of the current label block (None = unbounded,
+    #: the default for hand-built modules that never open a block)
+    _block_limit: Optional[int] = None
 
     def new_label(self) -> int:
         label = self._next_label
         self._next_label += 1
+        if self._block_limit is not None and label >= self._block_limit:
+            raise ValueError(
+                f"label block overflow: ℓ{label} exceeds the current block"
+                f" (stride {LABEL_BLOCK_STRIDE}); function too large"
+            )
         return label
+
+    def begin_label_block(self, index: int) -> int:
+        """Start allocating labels at ``index * LABEL_BLOCK_STRIDE``.
+
+        The lowering opens one block per function (in declaration order),
+        which keeps every function's labels stable under edits to other
+        functions: label *order* still follows declaration order, but the
+        numbering of function ``i`` no longer depends on the sizes of
+        functions ``0..i-1``.  Returns the block's first label.
+        """
+        start = index * LABEL_BLOCK_STRIDE
+        self._next_label = start
+        self._block_limit = start + LABEL_BLOCK_STRIDE
+        return start
+
+    def adopt_function(self, func: IRFunction, block_index: int) -> None:
+        """Re-register a previously lowered function under this module.
+
+        Used by the incremental lowering to reuse an unchanged function's
+        instruction objects (and hence labels, variables and guards) from
+        an earlier run.  The function must have been lowered in the same
+        block position.
+        """
+        start = self.begin_label_block(block_index)
+        self.functions[func.name] = func
+        last = start - 1
+        for inst in func.body:
+            self.register(inst, func.name)
+            last = inst.label
+        self._next_label = last + 1
 
     def register(self, inst: Instruction, func_name: str) -> None:
         self._labels[inst.label] = inst
