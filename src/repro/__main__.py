@@ -80,6 +80,30 @@ def main(argv=None) -> int:
         " (reference enumeration, for debugging and ablation)",
     )
     parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per file; on expiry a partial report is"
+        " printed and flagged as timed out (default: unlimited)",
+    )
+    parser.add_argument(
+        "--pass-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="soft per-pass budget: overruns are reported as degradation"
+        " warnings, the pass itself is not interrupted",
+    )
+    parser.add_argument(
+        "--solver-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-SMT-query deadline; an expired query counts as unknown"
+        " (the candidate is not reported) instead of stalling the run",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print per-file timings, solver counters and cache hit rate",
@@ -130,6 +154,9 @@ def main(argv=None) -> int:
         sink_reachability=not args.no_pruning,
         incremental_guard_pruning=not args.no_pruning,
         dead_state_memo=not args.no_pruning,
+        timeout_seconds=args.timeout,
+        pass_timeout_seconds=args.pass_timeout,
+        solver_timeout_seconds=args.solver_timeout,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         explain_cache=args.explain_cache,
@@ -149,7 +176,10 @@ def main(argv=None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         total += report.num_reports
-        print(f"{path}: {report.num_reports} finding(s)")
+        status = " (timed out — partial results)" if report.timed_out else ""
+        print(f"{path}: {report.num_reports} finding(s){status}")
+        for warning in report.degradation_warnings:
+            print(f"warning: {warning}", file=sys.stderr)
         for bug in report.bugs:
             print(bug.describe())
             print()

@@ -1,5 +1,6 @@
 """Public analysis facade: :class:`Canary`, its config and report types."""
 
+from .budget import Budget
 from .config import AnalysisConfig
 
 # driver first: its import chain reaches repro.pointer before
@@ -14,6 +15,7 @@ __all__ = [
     "AnalysisPipeline",
     "AnalysisReport",
     "ArtifactStore",
+    "Budget",
     "Canary",
     "PassManager",
     "PassRecord",

@@ -73,6 +73,17 @@ class AnalysisConfig:
     order_constraints: bool = True
     #: SAT conflict budget per path query (None = unlimited)
     solver_max_conflicts: Optional[int] = 100_000
+    #: wall-clock budget for one analysis run, in seconds (None =
+    #: unlimited) — the paper's per-subject hard budget.  Checked
+    #: cooperatively at pass boundaries and between checker sources; on
+    #: expiry the run returns a partial report flagged ``timed_out``.
+    timeout_seconds: Optional[float] = None
+    #: *soft* per-pass budget: a pass that overruns it is not interrupted,
+    #: but the overrun is recorded as a degradation warning
+    pass_timeout_seconds: Optional[float] = None
+    #: per-SMT-query wall deadline in seconds (None = unlimited); the
+    #: CDCL loop polls it and returns UNKNOWN with the reason recorded
+    solver_timeout_seconds: Optional[float] = None
     #: extension (paper future work 1): model lock/unlock mutual exclusion
     #: in the order constraints (off by default, matching the paper)
     model_locks: bool = False

@@ -46,6 +46,13 @@ class AnalysisReport:
     search_statistics: Dict[str, Dict[str, int]] = field(default_factory=dict)
     #: soundness warnings: searches that hit a bound (enumeration truncated)
     truncation_warnings: List[str] = field(default_factory=list)
+    #: graceful-degradation notes: isolated pass/checker failures, solver
+    #: pool deaths, budget-starved queries.  A non-empty list means the
+    #: report is complete but was produced on a degraded pipeline.
+    degradation_warnings: List[str] = field(default_factory=list)
+    #: the run's wall-clock budget expired: the report is partial (the
+    #: passes and checkers that ran are accounted in pass_statistics)
+    timed_out: bool = False
     #: uniform per-pass rows: {name, status ('run'|'cached'), seconds, detail}
     pass_statistics: List[Dict[str, Any]] = field(default_factory=list)
     #: artifact-store hit/miss counters plus run/cached pass counts
@@ -106,6 +113,10 @@ class AnalysisReport:
             )
         for warning in self.truncation_warnings:
             lines.append(f"warning: {warning}")
+        for warning in self.degradation_warnings:
+            lines.append(f"degraded: {warning}")
+        if self.timed_out:
+            lines.append("warning: analysis budget expired — partial results")
         return "\n".join(lines)
 
     def describe_passes(self) -> str:

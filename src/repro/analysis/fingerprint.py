@@ -122,6 +122,8 @@ def report_to_portable(report: "AnalysisReport") -> dict:
             k: dict(v) for k, v in report.search_statistics.items()
         },
         "truncation_warnings": list(report.truncation_warnings),
+        "degradation_warnings": list(report.degradation_warnings),
+        "timed_out": report.timed_out,
     }
 
 
@@ -172,5 +174,7 @@ def report_from_portable(data: dict, module: IRModule) -> "AnalysisReport":
             k: dict(v) for k, v in data.get("search_statistics", {}).items()
         },
         truncation_warnings=list(data.get("truncation_warnings", ())),
+        degradation_warnings=list(data.get("degradation_warnings", ())),
+        timed_out=bool(data.get("timed_out", False)),
         bundle=None,
     )

@@ -48,7 +48,10 @@ from ..vfg.builder import VFGBundle
 from ..vfg.dataflow import DataDependenceAnalysis, DataflowJournal
 from ..vfg.graph import ObjNode, VFGNode
 from ..vfg.interference import InterferenceAnalysis
+from ..frontend import FrontendError
+from ..testing.faults import fault_point
 from .artifacts import ArtifactStore
+from .budget import Budget
 from .config import AnalysisConfig
 from .driver import AnalysisReport
 from .fingerprint import (
@@ -66,7 +69,7 @@ class PassRecord:
     """One row of the pipeline's uniform pass accounting."""
 
     name: str
-    status: str  # 'run' | 'cached'
+    status: str  # 'run' | 'cached' | 'failed'
     seconds: float = 0.0
     detail: str = ""
 
@@ -80,18 +83,60 @@ class PassRecord:
 
 
 class PassManager:
-    """Runs named passes, timing each and recording a uniform row."""
+    """Runs named passes, timing each and recording a uniform row.
 
-    def __init__(self) -> None:
+    Every pass is a fault-injection site (``pass:<name>``, see
+    :mod:`repro.testing.faults`).  With a :class:`Budget` attached, a
+    pass that overruns the *soft* per-pass budget gets a degradation
+    warning (passes are not preemptible, so the overrun is informational
+    only).  :meth:`attempt` additionally isolates a crashing pass:
+    the exception is recorded as a ``failed`` row plus a warning, and
+    the caller decides how much of the pipeline can still run.
+    """
+
+    def __init__(self, budget: Optional[Budget] = None) -> None:
         self.records: List[PassRecord] = []
+        self.budget = budget
+        #: graceful-degradation notes, surfaced on the final report
+        self.warnings: List[str] = []
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(message)
 
     def run(self, name: str, fn, detail: str = "") -> Any:
-        t0 = time.perf_counter()
-        result = fn()
-        self.records.append(
-            PassRecord(name, "run", time.perf_counter() - t0, detail)
-        )
+        """Run one pass; exceptions propagate (use :meth:`attempt` for
+        passes the pipeline can survive losing)."""
+        result, error = self.attempt(name, fn, detail, _warn_on_failure=False)
+        if error is not None:
+            raise error
         return result
+
+    def attempt(
+        self, name: str, fn, detail: str = "", _warn_on_failure: bool = True
+    ) -> Tuple[Any, Optional[BaseException]]:
+        """Run one pass, isolating failure: returns ``(result, None)`` on
+        success or ``(None, exception)`` after recording a ``failed``
+        row — the pipeline keeps going with whatever can still run."""
+        t0 = time.perf_counter()
+        try:
+            fault_point(f"pass:{name}")
+            result = fn()
+        except Exception as exc:
+            seconds = time.perf_counter() - t0
+            self.records.append(
+                PassRecord(name, "failed", seconds, f"{type(exc).__name__}: {exc}")
+            )
+            if _warn_on_failure:
+                self.warn(f"pass {name} failed ({type(exc).__name__}: {exc})")
+            return None, exc
+        seconds = time.perf_counter() - t0
+        self.records.append(PassRecord(name, "run", seconds, detail))
+        if self.budget is not None and self.budget.over_pass_budget(seconds):
+            self.warn(
+                f"pass {name}: {seconds:.3f}s exceeded the soft per-pass"
+                f" budget ({self.budget.pass_seconds:g}s)"
+            )
+        return result, None
 
     def cached(self, name: str, detail: str = "") -> None:
         self.records.append(PassRecord(name, "cached", 0.0, detail))
@@ -114,7 +159,11 @@ class PassManager:
 
     def counts(self) -> Dict[str, int]:
         run = sum(1 for r in self.records if r.status == "run")
-        return {"run": run, "cached": len(self.records) - run}
+        failed = sum(1 for r in self.records if r.status == "failed")
+        counts = {"run": run, "cached": len(self.records) - run - failed}
+        if failed:
+            counts["failed"] = failed
+        return counts
 
     def statistics(self) -> List[Dict[str, Any]]:
         return [r.as_dict() for r in self.records]
@@ -126,7 +175,10 @@ class AnalysisPipeline:
     def __init__(self, config: AnalysisConfig, store: ArtifactStore) -> None:
         self.config = config
         self.store = store
-        self.pm = PassManager()
+        # The run's resource budget: the wall clock starts here (the
+        # driver builds a fresh pipeline per analyze_* call).
+        self.budget = Budget.from_config(config)
+        self.pm = PassManager(budget=self.budget)
 
     # ----- entry points -----------------------------------------------------
 
@@ -142,8 +194,21 @@ class AnalysisPipeline:
             hit = self.store.get("run", digest)
             if hit is not None:
                 return self._replay_memoized_run(hit, events_mark)
-        ast = self.pm.run("parse", lambda: parse_program(source, filename))
-        module = self._lower(ast, filename, caching)
+        try:
+            ast = self.pm.run("parse", lambda: parse_program(source, filename))
+            module = self._lower(ast, filename, caching)
+        except FrontendError:
+            raise  # malformed input is the caller's problem, not degradation
+        except Exception as exc:
+            # An internal frontend crash (or an injected fault) still
+            # yields a well-formed — empty, degraded — report.
+            self.pm.warn(
+                f"frontend failed unexpectedly ({type(exc).__name__}: {exc});"
+                " no analysis was performed"
+            )
+            return self._degraded_empty_report(events_mark)
+        if self._out_of_time("frontend"):
+            return self._degraded_empty_report(events_mark)
         if caching and cfg.cache_dir:
             data = self.store.get_disk("run", digest)
             if data is not None:
@@ -156,7 +221,9 @@ class AnalysisPipeline:
         )
         report.timings["parse"] = self.pm.seconds_of("parse")
         report.timings["lowering"] = self.pm.seconds_of("lower")
-        if caching:
+        # Degraded runs (budget expiry, isolated failures) are partial by
+        # definition: caching them would pin the degradation.
+        if caching and not report.timed_out and not report.degradation_warnings:
             self.store.put("run", digest, {"report": report, "module": module})
             if cfg.cache_dir:
                 portable = report_to_portable(report)
@@ -200,6 +267,8 @@ class AnalysisPipeline:
             checker_statistics={k: dict(v) for k, v in stored.checker_statistics.items()},
             search_statistics={k: dict(v) for k, v in stored.search_statistics.items()},
             truncation_warnings=list(stored.truncation_warnings),
+            degradation_warnings=list(stored.degradation_warnings),
+            timed_out=stored.timed_out,
             bundle=stored.bundle,
         )
         self._finish_report(report, events_mark)
@@ -261,15 +330,67 @@ class AnalysisPipeline:
     ) -> AnalysisReport:
         cfg = self.config
         pm = self.pm
+        budget = self.budget
         events_mark = len(self.store.events)
         if track_memory:
             tracemalloc.start()
 
-        verification = pm.run("verify", lambda: verify_module(module, strict=False))
-        pm.records[-1].detail = (
-            f"{len(verification.errors)} error(s),"
-            f" {len(verification.warnings)} warning(s)"
+        # Result accumulators: every early return below (budget expiry,
+        # unsurvivable pass failure) still produces a complete report
+        # from whatever has been computed so far.
+        bugs: List[BugReport] = []
+        suppressed: List = []
+        checker_statistics: Dict[str, Dict[str, int]] = {}
+        search_statistics: Dict[str, Dict[str, int]] = {}
+        truncation_warnings: List[str] = []
+        bundle: Optional[VFGBundle] = None
+        realizability: Optional[RealizabilityChecker] = None
+
+        def finish() -> AnalysisReport:
+            peak = 0
+            if track_memory:
+                _current, peak = tracemalloc.get_traced_memory()
+                tracemalloc.stop()
+            solver_stats = (
+                dict(realizability.statistics) if realizability is not None else {}
+            )
+            degradation = list(pm.warnings)
+            if realizability is not None:
+                degradation.extend(realizability.degradation_summary())
+            report = AnalysisReport(
+                bugs=bugs,
+                suppressed=suppressed,
+                vfg_summary=bundle.summary() if bundle is not None else {},
+                timings={
+                    "vfg": (bundle.build_seconds if bundle is not None else 0.0)
+                    + pm.seconds_of("verify"),
+                    "checking": pm.seconds_of("detect"),
+                    "solving": solver_stats.get("solve_seconds", 0.0),
+                },
+                peak_memory_bytes=peak,
+                solver_statistics=solver_stats,
+                checker_statistics=checker_statistics,
+                search_statistics=search_statistics,
+                truncation_warnings=truncation_warnings,
+                degradation_warnings=degradation,
+                timed_out=bool(budget.expirations),
+                bundle=bundle,
+            )
+            self._finish_report(report, events_mark)
+            return report
+
+        verification, error = pm.attempt(
+            "verify", lambda: verify_module(module, strict=False)
         )
+        if error is None:
+            pm.records[-1].detail = (
+                f"{len(verification.errors)} error(s),"
+                f" {len(verification.warnings)} warning(s)"
+            )
+        # verification is advisory (strict=False): a crash degrades, the
+        # analysis itself continues.
+        if self._out_of_time("verify"):
+            return finish()
 
         # -- pointer / thread structure (skeleton-keyed reuse) --------------
         skeleton = module_skeleton(module)
@@ -285,15 +406,27 @@ class AnalysisPipeline:
             pm.cached("tcg", detail="skeleton unchanged")
             pm.cached("mhp", detail="skeleton unchanged")
         else:
-            pointsto = pm.run("pointer", lambda: steensgaard(module))
-            tcg = pm.run("tcg", lambda: build_thread_call_graph(module, pointsto))
-            mhp = pm.run("mhp", lambda: MhpAnalysis(tcg))
+            pointsto, error = pm.attempt("pointer", lambda: steensgaard(module))
+            if error is None:
+                tcg, error = pm.attempt(
+                    "tcg", lambda: build_thread_call_graph(module, pointsto)
+                )
+            if error is None:
+                mhp, error = pm.attempt("mhp", lambda: MhpAnalysis(tcg))
+            if error is not None:
+                # Everything downstream needs the thread structure; the
+                # report stays empty but well-formed, with the failure
+                # recorded in pass_statistics and degradation_warnings.
+                pm.warn("thread-structure phase unavailable; no findings produced")
+                return finish()
             if caching and lineage is not None:
                 self.store.put(
                     "threads",
                     tkey,
                     {"skeleton": skeleton, "pointsto": pointsto, "tcg": tcg, "mhp": mhp},
                 )
+        if self._out_of_time("threads"):
+            return finish()
 
         # -- Alg. 1 data dependence (journaled, per-function passes) --------
         journal: Optional[DataflowJournal] = None
@@ -309,9 +442,20 @@ class AnalysisPipeline:
             max_content_entries=cfg.max_content_entries,
             prune_guards=cfg.prune_guards,
         )
-        dataflow.run(journal)
+        try:
+            fault_point("pass:dataflow")
+            dataflow.run(journal)
+        except Exception as exc:
+            pm.record("dataflow", "failed", 0.0, f"{type(exc).__name__}: {exc}")
+            pm.warn(
+                f"pass dataflow failed ({type(exc).__name__}: {exc});"
+                " no findings produced"
+            )
+            return finish()
         for fname, status, seconds in dataflow.function_trace:
             pm.record(f"dataflow:{fname}", status, seconds)
+        if self._out_of_time("dataflow"):
+            return finish()
 
         # -- Alg. 2 interference (always recomputed: global fixpoint) -------
         def run_interference() -> InterferenceAnalysis:
@@ -325,10 +469,15 @@ class AnalysisPipeline:
             analysis.run()
             return analysis
 
-        interference = pm.run("interference", run_interference)
+        interference, error = pm.attempt("interference", run_interference)
+        if error is not None:
+            pm.warn("interference analysis unavailable; no findings produced")
+            return finish()
         pm.records[-1].detail = (
             f"{interference.interference_edge_count} interference edge(s)"
         )
+        if self._out_of_time("interference"):
+            return finish()
 
         bundle = VFGBundle(
             module=module,
@@ -358,6 +507,8 @@ class AnalysisPipeline:
             memory_model=cfg.memory_model,
             backend=cfg.solver_backend,
             cache=self._verdict_cache(caching),
+            solver_timeout=cfg.solver_timeout_seconds,
+            budget=budget,
         )
         limits = SearchLimits(
             max_depth=cfg.max_path_depth,
@@ -368,12 +519,9 @@ class AnalysisPipeline:
         index_cache = (
             self.store.index_cache if caching else ReachabilityIndexCache()
         )
-        bugs: List[BugReport] = []
-        suppressed: List = []
-        checker_statistics: Dict[str, Dict[str, int]] = {}
-        search_statistics: Dict[str, Dict[str, int]] = {}
-        truncation_warnings: List[str] = []
         for name in cfg.checkers:
+            if self._out_of_time(f"detect:{name}"):
+                return finish()
             checker = ALL_CHECKERS[name](
                 bundle,
                 limits=limits,
@@ -390,6 +538,7 @@ class AnalysisPipeline:
                 index_cache=index_cache,
                 streaming=cfg.streaming_solving,
                 enumeration_workers=cfg.enumeration_workers,
+                budget=budget,
             )
             fingerprint = None
             if caching and lineage is not None:
@@ -406,7 +555,11 @@ class AnalysisPipeline:
                     search_statistics[name] = dict(prev["search_stats"])
                     truncation_warnings.extend(prev["truncations"])
                     continue
-            found = pm.run(f"detect:{name}", checker.run)
+            found, error = pm.attempt(f"detect:{name}", checker.run)
+            if error is not None:
+                # One crashing checker never takes down the others.
+                pm.warn(f"checker {name}: its findings are omitted")
+                continue
             pm.records[-1].detail = f"{len(found)} report(s)"
             truncations = [
                 f"{name}: {event.describe()}" for event in checker.truncation_events
@@ -416,7 +569,16 @@ class AnalysisPipeline:
             checker_statistics[name] = dict(checker.statistics)
             search_statistics[name] = checker.search_stats.as_dict()
             truncation_warnings.extend(truncations)
-            if fingerprint is not None:
+            undecided = checker.statistics.get("undecided", 0)
+            if undecided:
+                pm.warn(
+                    f"checker {name}: {undecided} candidate(s) undecided"
+                    " (solver budget exhausted before a verdict)"
+                )
+            # Budget-starved verdicts (and runs that expired mid-checker)
+            # are time-dependent; caching them would pin UNKNOWN-influenced
+            # or partial results across runs.
+            if fingerprint is not None and not undecided and not budget.expired():
                 self.store.put(
                     "detect",
                     (lineage, name),
@@ -430,31 +592,29 @@ class AnalysisPipeline:
                     },
                 )
 
-        peak = 0
-        if track_memory:
-            _current, peak = tracemalloc.get_traced_memory()
-            tracemalloc.stop()
+        return finish()
 
+    # ----- helpers ----------------------------------------------------------
+
+    def _out_of_time(self, where: str) -> bool:
+        """Cooperative wall-budget check at a pass boundary; records the
+        observation point on expiry so the report can say where the run
+        wound down."""
+        return self.budget.note_expired(where)
+
+    def _degraded_empty_report(self, events_mark: int) -> AnalysisReport:
+        """A well-formed empty report for runs that could not get past
+        the frontend (crash or budget expiry before lowering finished)."""
         report = AnalysisReport(
-            bugs=bugs,
-            suppressed=suppressed,
-            vfg_summary=bundle.summary(),
             timings={
-                "vfg": bundle.build_seconds + pm.seconds_of("verify"),
-                "checking": pm.seconds_of("detect"),
-                "solving": realizability.statistics.get("solve_seconds", 0.0),
+                "parse": self.pm.seconds_of("parse"),
+                "lowering": self.pm.seconds_of("lower"),
             },
-            peak_memory_bytes=peak,
-            solver_statistics=dict(realizability.statistics),
-            checker_statistics=checker_statistics,
-            search_statistics=search_statistics,
-            truncation_warnings=truncation_warnings,
-            bundle=bundle,
+            degradation_warnings=list(self.pm.warnings),
+            timed_out=bool(self.budget.expirations),
         )
         self._finish_report(report, events_mark)
         return report
-
-    # ----- helpers ----------------------------------------------------------
 
     def _verdict_cache(self, caching: bool) -> Optional[VerdictCache]:
         if not self.config.verdict_cache:

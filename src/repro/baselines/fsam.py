@@ -66,7 +66,12 @@ class FsamBaseline:
             for i in f.body
             if isinstance(i, LoadInst)
         ]
-        timed_out = deadline is not None and time.perf_counter() > deadline
+        # The points-to result says explicitly whether the deadline cut
+        # its fixed point short (inferring it from the clock alone could
+        # miss a partial result that finished just under the deadline).
+        timed_out = pts.timed_out or (
+            deadline is not None and time.perf_counter() > deadline
+        )
         for store in stores:
             if timed_out:
                 break

@@ -81,6 +81,7 @@ def run_subject(
     profile: BenchProfile,
     tools: Tuple[str, ...] = ("canary", "saber", "fsam"),
     track_memory: bool = True,
+    canary_timeout_seconds: Optional[float] = None,
 ) -> SubjectRun:
     module, truth, lines = prepare_subject(subject, profile)
     run = SubjectRun(subject=subject, lines=lines)
@@ -88,21 +89,29 @@ def run_subject(
     if "canary" in tools:
         # Caching off: the driver's cross-run artifact/verdict caches would
         # otherwise make repeated measurements of one subject meaningless.
-        canary = Canary(AnalysisConfig(use_cache=False))
+        # ``canary_timeout_seconds`` (None = unlimited, the default) maps
+        # to the run's wall budget; an expired run comes back as a partial
+        # report flagged timed_out and is recorded NA like the baselines.
+        canary = Canary(
+            AnalysisConfig(use_cache=False, timeout_seconds=canary_timeout_seconds)
+        )
 
         meas = measure(
             lambda: canary.analyze_module(module), track_memory=track_memory
         )
         report = meas.result
-        tps, fps = _classify(report.bugs, module, truth)
-        run.tools["canary"] = ToolRun(
-            tool="canary",
-            seconds=meas.seconds,
-            peak_mb=meas.peak_mb,
-            reports=report.num_reports,
-            true_positives=tps,
-            false_positives=fps,
-        )
+        if report.timed_out:
+            run.tools["canary"] = ToolRun(tool="canary", timed_out=True)
+        else:
+            tps, fps = _classify(report.bugs, module, truth)
+            run.tools["canary"] = ToolRun(
+                tool="canary",
+                seconds=meas.seconds,
+                peak_mb=meas.peak_mb,
+                reports=report.num_reports,
+                true_positives=tps,
+                false_positives=fps,
+            )
 
     budget = profile.baseline_budget_seconds
     if "saber" in tools:

@@ -154,6 +154,7 @@ class SourceSinkChecker:
         index_cache: Optional[ReachabilityIndexCache] = None,
         streaming: bool = True,
         enumeration_workers: int = 2,
+        budget=None,
     ) -> None:
         self.parallel_solving = parallel_solving
         self.solver_workers = solver_workers
@@ -173,6 +174,10 @@ class SourceSinkChecker:
         self.index_cache = index_cache
         self.streaming = streaming
         self.enumeration_workers = max(1, enumeration_workers)
+        #: optional repro.analysis.budget.Budget — serial mode checks it
+        #: between sources and winds down on expiry (parallel modes rely
+        #: on per-query solver deadlines plus pass-boundary checks)
+        self.budget = budget
         self.suppressed: List[SuppressedCandidate] = []
         self.uses = UseIndex(bundle)
         self.search_stats = SearchStatistics()
@@ -181,6 +186,9 @@ class SourceSinkChecker:
             "sources": 0,
             "candidates": 0,
             "reports": 0,
+            # candidates whose realizability came back UNKNOWN: a budget
+            # outcome, neither reported nor counted as solver-refuted
+            "undecided": 0,
         }
 
     # ----- subclass API -----------------------------------------------------
@@ -300,6 +308,10 @@ class SourceSinkChecker:
         reports: List[BugReport] = []
         reported_keys: Set[Tuple] = set()
         for origin, source_inst, alias_guard in source_list:
+            if self.budget is not None and self.budget.note_expired(
+                f"checker:{self.kind}"
+            ):
+                break  # wall budget expired: report what we have so far
             found_here = 0
 
             def on_node(node: VFGNode, path: ValueFlowPath) -> int:
@@ -332,7 +344,12 @@ class SourceSinkChecker:
                     )
                     result = self.realizability.check(query)
                     if not result.realizable:
-                        if self.collect_suppressed:
+                        if result.verdict == "unknown":
+                            # Budget outcome, not a refutation: recording
+                            # it as suppressed would mislabel it as
+                            # solver-proved infeasible.
+                            self.statistics["undecided"] += 1
+                        elif self.collect_suppressed:
                             key_s = (self.kind, source_inst.label, sink_inst.label, "s")
                             if key_s not in reported_keys:
                                 reported_keys.add(key_s)
@@ -441,6 +458,9 @@ class SourceSinkChecker:
                 per_source[source_label] = per_source.get(source_label, 0) + 1
                 reported_keys.add(key)
                 reports.append(self._make_report(query, result))
+            elif result.verdict == "unknown":
+                # Budget outcome: never recorded as solver-refuted.
+                self.statistics["undecided"] += 1
             elif self.collect_suppressed and key not in suppressed_keys:
                 suppressed_keys.add(key)
                 self.suppressed.append(

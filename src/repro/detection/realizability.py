@@ -25,11 +25,25 @@ the canonicalized Φ_all (interning makes structural equality identity,
 so the formula object itself is the key), shared across all checkers of
 one ``Canary`` run.  Statistics are accumulated under a lock and merged
 from workers, so counters are exact under any backend.
+
+Fault tolerance: a dead worker process (OOM-killed, segfaulted, or
+fault-injected) is never silent.  The streaming path retries the
+affected formula on a respawned pool with exponential backoff before
+re-solving it in-process; every pool failure is counted in the solver
+statistics (``pool_failures`` / ``pool_retries`` / ``pool_local_solves``)
+with the triggering exception recorded, and
+:meth:`RealizabilityChecker.degradation_summary` turns the counters into
+the report's degradation warnings.  Per-query budgets
+(``solver_timeout`` seconds, optionally clipped by the run's
+:class:`~repro.analysis.budget.Budget`) ride along with each payload, so
+a stalled query returns ``UNKNOWN`` (reason recorded) instead of
+wedging a worker.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -80,10 +94,14 @@ class RealizabilityResult:
     #: the model's non-order assignments, for witness replay:
     #: {'ints': extern-name -> int, 'bools': atom-name -> bool}
     witness_env: Dict[str, Dict] = field(default_factory=dict)
+    #: why an 'unknown' verdict was undecided ('conflicts', 'deadline',
+    #: 'theory-rounds'); empty for decided verdicts.  An UNKNOWN is a
+    #: budget outcome, never evidence of (un)realizability.
+    unknown_reason: str = ""
 
 
-#: a cached verdict: (verdict, int assignment, bool-atom assignment)
-_CacheEntry = Tuple[str, Dict[str, int], Dict[str, bool]]
+#: a cached verdict: (verdict, ints, bool atoms, unknown reason)
+_CacheEntry = Tuple[str, Dict[str, int], Dict[str, bool], str]
 
 
 class VerdictCache:
@@ -131,10 +149,15 @@ class VerdictCache:
         return self.hits / total if total else 0.0
 
 
-def _solve_payload(payload) -> Tuple[str, Dict[str, int], Dict[str, bool], float]:
+def _solve_payload(payload) -> Tuple[str, Dict[str, int], Dict[str, bool], float, str]:
     """Module-level process-pool target (must be picklable by name)."""
-    formula, max_conflicts, use_cube = payload
-    return solve_formula(formula, max_conflicts=max_conflicts, use_cube=use_cube)
+    from ..testing.faults import fault_point
+
+    formula, max_conflicts, use_cube, timeout = payload
+    fault_point("worker:solve")  # pool-death injection site (workers only)
+    return solve_formula(
+        formula, max_conflicts=max_conflicts, use_cube=use_cube, timeout=timeout
+    )
 
 
 class RealizabilityChecker:
@@ -150,6 +173,8 @@ class RealizabilityChecker:
         memory_model: str = "sc",
         backend: str = "thread",
         cache: Optional[VerdictCache] = None,
+        solver_timeout: Optional[float] = None,
+        budget=None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown solver backend {backend!r} (want one of {BACKENDS})")
@@ -159,19 +184,40 @@ class RealizabilityChecker:
         )
         self.use_cube_and_conquer = use_cube_and_conquer
         self.solver_max_conflicts = solver_max_conflicts
+        self.solver_timeout = solver_timeout
+        #: optional repro.analysis.budget.Budget — clips per-query
+        #: timeouts to the run's remaining wall budget (parent-side only;
+        #: the budget object never crosses a process boundary)
+        self.budget = budget
         self.order_constraints = order_constraints
         self.backend = backend
         self.cache = cache
         self._stats_lock = threading.Lock()
+        self._last_pool_error = ""
         self.statistics = {
             "queries": 0,
             "sat": 0,
             "unsat": 0,
             "unknown": 0,
+            "unknown_conflicts": 0,
+            "unknown_deadline": 0,
             "cache_hits": 0,
             "cache_misses": 0,
             "solve_seconds": 0.0,
+            "pool_failures": 0,
+            "pool_retries": 0,
+            "pool_local_solves": 0,
         }
+
+    def query_timeout(self) -> Optional[float]:
+        """Per-query wall budget: ``solver_timeout`` clipped to the run
+        budget's remaining wall time (evaluated at submission)."""
+        timeout = self.solver_timeout
+        if self.budget is not None:
+            clipped = self.budget.query_timeout()
+            if clipped is not None:
+                timeout = clipped if timeout is None else min(timeout, clipped)
+        return timeout
 
     # ----- formula assembly -------------------------------------------------
 
@@ -224,7 +270,9 @@ class RealizabilityChecker:
           order satisfies Φ_ls ∧ Φ_po plus the checker's requirements
           (the Fig. 5(b) / fork-join class).
         """
-        solver = Solver(max_conflicts=self.solver_max_conflicts)
+        solver = Solver(
+            max_conflicts=self.solver_max_conflicts, timeout=self.query_timeout()
+        )
         solver.add(self.guards_only_formula(query))
         if solver.check() is UNSAT:
             return "guard-contradiction"
@@ -232,17 +280,58 @@ class RealizabilityChecker:
 
     # ----- deciding ---------------------------------------------------------
 
-    def _bump(self, verdict: str, cache_hit: Optional[bool], seconds: float) -> None:
+    def _bump(
+        self,
+        verdict: str,
+        cache_hit: Optional[bool],
+        seconds: float,
+        reason: str = "",
+    ) -> None:
         """Merge one query's counters (thread-safe; exact under any pool)."""
         with self._stats_lock:
             s = self.statistics
             s["queries"] += 1
             s[verdict] += 1
+            if verdict == UNKNOWN and reason:
+                key = f"unknown_{reason.replace('-', '_')}"
+                s[key] = s.get(key, 0) + 1
             if cache_hit is not None:
                 s["cache_hits" if cache_hit else "cache_misses"] += 1
             s["solve_seconds"] += seconds
         if self.cache is not None and cache_hit is not None:
             self.cache.record(cache_hit)
+
+    def _note_pool_failure(self, context: str, exc: BaseException) -> None:
+        """Record one worker/pool death — never swallowed silently."""
+        with self._stats_lock:
+            self.statistics["pool_failures"] += 1
+            self._last_pool_error = f"{type(exc).__name__}: {exc}" if str(exc) else type(exc).__name__
+            if context:
+                self._last_pool_error += f" [{context}]"
+
+    def _count(self, key: str, delta: int = 1) -> None:
+        with self._stats_lock:
+            self.statistics[key] = self.statistics.get(key, 0) + delta
+
+    def degradation_summary(self) -> List[str]:
+        """Human-readable degradation warnings for the analysis report:
+        pool deaths (with how the work was recovered) and budget-starved
+        queries.  Empty when nothing degraded."""
+        out: List[str] = []
+        s = self.statistics
+        if s["pool_failures"]:
+            detail = f" ({self._last_pool_error})" if self._last_pool_error else ""
+            out.append(
+                f"solver pool: {s['pool_failures']} worker failure(s){detail};"
+                f" {s['pool_retries']} retried on a fresh pool,"
+                f" {s['pool_local_solves']} re-solved locally"
+            )
+        if s.get("unknown_deadline"):
+            out.append(
+                f"solver: {s['unknown_deadline']} query(ies) hit the per-query"
+                " deadline (verdict unknown, candidate not reported)"
+            )
+        return out
 
     def _materialize(
         self,
@@ -250,12 +339,14 @@ class RealizabilityChecker:
         verdict: str,
         ints: Dict[str, int],
         bools: Dict[str, bool],
+        reason: str = "",
     ) -> RealizabilityResult:
         """Rebuild a result from plain (picklable / cacheable) solve data."""
         if verdict != SAT:
-            # Budget exhausted (UNKNOWN): soundy choice — do not report
-            # (low FP bias).  UNSAT: refuted.
-            return RealizabilityResult(False, verdict, formula)
+            # UNSAT: refuted.  UNKNOWN: budget exhausted — soundy choice,
+            # do not report (low FP bias), but carry the reason so callers
+            # can distinguish "proved infeasible" from "gave up".
+            return RealizabilityResult(False, verdict, formula, unknown_reason=reason)
         witness: Dict[str, int] = {}
         witness_env: Dict[str, Dict] = {"ints": {}, "bools": dict(bools)}
         for name, value in ints.items():
@@ -274,20 +365,21 @@ class RealizabilityChecker:
         if self.cache is not None:
             entry = self.cache.peek(formula)
             if entry is not None:
-                verdict, ints, bools = entry
-                self._bump(verdict, cache_hit=True, seconds=0.0)
-                return self._materialize(formula, verdict, ints, bools)
-        verdict, ints, bools, seconds = solve_formula(
+                verdict, ints, bools, reason = entry
+                self._bump(verdict, cache_hit=True, seconds=0.0, reason=reason)
+                return self._materialize(formula, verdict, ints, bools, reason)
+        verdict, ints, bools, seconds, reason = solve_formula(
             formula,
             max_conflicts=self.solver_max_conflicts,
             use_cube=self.use_cube_and_conquer,
+            timeout=self.query_timeout(),
         )
         if self.cache is not None:
-            self.cache.store(formula, (verdict, ints, bools))
-            self._bump(verdict, cache_hit=False, seconds=seconds)
+            self.cache.store(formula, (verdict, ints, bools, reason))
+            self._bump(verdict, cache_hit=False, seconds=seconds, reason=reason)
         else:
-            self._bump(verdict, cache_hit=None, seconds=seconds)
-        return self._materialize(formula, verdict, ints, bools)
+            self._bump(verdict, cache_hit=None, seconds=seconds, reason=reason)
+        return self._materialize(formula, verdict, ints, bools, reason)
 
     def check_many(
         self,
@@ -313,8 +405,10 @@ class RealizabilityChecker:
         if backend == "process":
             try:
                 return self._check_formulas_process(formulas, max_workers)
-            except (OSError, RuntimeError, ImportError):
-                pass  # e.g. sandboxed fork — degrade to the thread pool
+            except (OSError, RuntimeError, ImportError) as exc:
+                # e.g. sandboxed fork or a dead worker (BrokenProcessPool is
+                # a RuntimeError) — record it, degrade to the thread pool.
+                self._note_pool_failure("batch", exc)
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             return list(pool.map(self.check_formula, formulas))
 
@@ -352,8 +446,9 @@ class RealizabilityChecker:
         unique = list(todo)
         solved = []
         if unique:
+            timeout = self.query_timeout()
             payloads = [
-                (f, self.solver_max_conflicts, self.use_cube_and_conquer)
+                (f, self.solver_max_conflicts, self.use_cube_and_conquer, timeout)
                 for f in unique
             ]
             chunksize = max(1, len(payloads) // (4 * max_workers))
@@ -361,18 +456,23 @@ class RealizabilityChecker:
             # fall back to the thread pool with exact counters.
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
                 solved = list(pool.map(_solve_payload, payloads, chunksize=chunksize))
-        for i, formula, (verdict, ints, bools) in cached:
-            self._bump(verdict, cache_hit=True, seconds=0.0)
-            results[i] = self._materialize(formula, verdict, ints, bools)
-        for formula, (verdict, ints, bools, seconds) in zip(unique, solved):
+        for i, formula, (verdict, ints, bools, reason) in cached:
+            self._bump(verdict, cache_hit=True, seconds=0.0, reason=reason)
+            results[i] = self._materialize(formula, verdict, ints, bools, reason)
+        for formula, (verdict, ints, bools, seconds, reason) in zip(unique, solved):
             if cache is not None:
-                cache.store(formula, (verdict, ints, bools))
+                cache.store(formula, (verdict, ints, bools, reason))
             for occurrence, i in enumerate(todo[formula]):
                 # The first occurrence paid for the solve; further
                 # occurrences of the same formula are in-batch reuse.
                 hit: Optional[bool] = occurrence > 0 if cache is not None else None
-                self._bump(verdict, cache_hit=hit, seconds=seconds if occurrence == 0 else 0.0)
-                results[i] = self._materialize(formula, verdict, ints, bools)
+                self._bump(
+                    verdict,
+                    cache_hit=hit,
+                    seconds=seconds if occurrence == 0 else 0.0,
+                    reason=reason,
+                )
+                results[i] = self._materialize(formula, verdict, ints, bools, reason)
         return results  # type: ignore[return-value]
 
 
@@ -408,11 +508,18 @@ class StreamingSolver:
         max_workers: int = 4,
         backend: str = "process",
         max_inflight: Optional[int] = None,
+        max_retries: int = 2,
+        retry_backoff: float = 0.05,
     ) -> None:
         self.checker = checker
         self.max_workers = max(1, max_workers)
         self.backend = backend
         self.max_inflight = max_inflight or 4 * self.max_workers
+        #: pool-death recovery: a failed formula is resubmitted to a fresh
+        #: pool up to ``max_retries`` times (sleeping ``retry_backoff *
+        #: 2**attempt`` between tries) before local in-process solving.
+        self.max_retries = max(0, max_retries)
+        self.retry_backoff = retry_backoff
         self._sem = threading.Semaphore(self.max_inflight)
         self._pool = None
         self._pool_failed = False
@@ -461,11 +568,13 @@ class StreamingSolver:
                 formula,
                 self.checker.solver_max_conflicts,
                 self.checker.use_cube_and_conquer,
+                self.checker.query_timeout(),
             )
             self._sem.acquire()  # backpressure: bounded in-flight window
             try:
                 future = pool.submit(_solve_payload, payload)
-            except (OSError, RuntimeError):
+            except (OSError, RuntimeError) as exc:
+                self.checker._note_pool_failure("submit", exc)
                 self._sem.release()
                 future = None
             else:
@@ -481,21 +590,62 @@ class StreamingSolver:
 
     # ----- draining ----------------------------------------------------------
 
+    def _await_with_retry(self, formula: BoolTerm, future: Future):
+        """Collect one pooled verdict, surviving pool death.
+
+        A future that raises (``BrokenProcessPool``, a pickling error, a
+        fault-injected worker crash) is *recorded* — never swallowed —
+        via :meth:`RealizabilityChecker._note_pool_failure`, then the
+        formula is resubmitted to a freshly spawned pool with exponential
+        backoff.  After ``max_retries`` failed attempts the caller falls
+        back to solving in-process (returns ``None``)."""
+        checker = self.checker
+        payload = (
+            formula,
+            checker.solver_max_conflicts,
+            checker.use_cube_and_conquer,
+            checker.query_timeout(),
+        )
+        for attempt in range(self.max_retries + 1):
+            try:
+                return future.result()
+            except Exception as exc:
+                checker._note_pool_failure("stream", exc)
+                if attempt >= self.max_retries:
+                    return None
+                time.sleep(self.retry_backoff * (2**attempt))
+                # Discard the (likely broken) pool and respawn before the
+                # resubmission.  No semaphore juggling: futures of a broken
+                # pool still run their done-callbacks, releasing the slot.
+                if self._pool is not None:
+                    self._pool.shutdown(wait=False)
+                    self._pool = None
+                pool = self._ensure_pool()
+                if pool is None:
+                    return None
+                try:
+                    future = pool.submit(_solve_payload, payload)
+                except (OSError, RuntimeError) as submit_exc:
+                    checker._note_pool_failure("resubmit", submit_exc)
+                    return None
+                checker._count("pool_retries")
+        return None
+
     def finish(self) -> List[RealizabilityResult]:
         """Wait for all verdicts; results are in submission order."""
         self._finished = True
         checker = self.checker
         cache = checker.cache
         results: List[RealizabilityResult] = []
-        solved: Dict[BoolTerm, Tuple[str, Dict, Dict, float]] = {}
+        solved: Dict[BoolTerm, Tuple[str, Dict, Dict, float, str]] = {}
         occurrences: Dict[BoolTerm, int] = {}
         try:
             for formula, disposition, entry in self._entries:
                 if disposition == "cached":
-                    verdict, ints, bools = entry  # type: ignore[misc]
-                    checker._bump(verdict, cache_hit=True, seconds=0.0)
+                    verdict, ints, bools, reason = entry  # type: ignore[misc]
+                    checker._bump(verdict, cache_hit=True, seconds=0.0, reason=reason)
                     results.append(
-                        checker._materialize(formula, verdict, ints, bools)
+                        checker._materialize(formula, verdict, ints, bools, reason)
                     )
                     continue
                 data = solved.get(formula)
@@ -503,27 +653,36 @@ class StreamingSolver:
                     future = self._futures[formula]
                     data = None
                     if future is not None:
-                        try:
-                            data = future.result()
-                        except Exception:
-                            data = None  # pool died — re-solve locally
+                        data = self._await_with_retry(formula, future)
                     if data is None:
+                        # Last line of defence: the pool never existed or
+                        # retries were exhausted — solve on this thread so
+                        # the stream still completes.
+                        if future is not None:
+                            checker._count("pool_local_solves")
                         data = solve_formula(
                             formula,
                             max_conflicts=checker.solver_max_conflicts,
                             use_cube=checker.use_cube_and_conquer,
+                            timeout=checker.query_timeout(),
                         )
                     solved[formula] = data
                     if cache is not None:
-                        cache.store(formula, data[:3])
-                verdict, ints, bools, seconds = data
+                        verdict, ints, bools, _seconds, reason = data
+                        cache.store(formula, (verdict, ints, bools, reason))
+                verdict, ints, bools, seconds, reason = data
                 occ = occurrences.get(formula, 0)
                 occurrences[formula] = occ + 1
                 hit: Optional[bool] = occ > 0 if cache is not None else None
                 checker._bump(
-                    verdict, cache_hit=hit, seconds=seconds if occ == 0 else 0.0
+                    verdict,
+                    cache_hit=hit,
+                    seconds=seconds if occ == 0 else 0.0,
+                    reason=reason,
                 )
-                results.append(checker._materialize(formula, verdict, ints, bools))
+                results.append(
+                    checker._materialize(formula, verdict, ints, bools, reason)
+                )
         finally:
             self.close()
         return results

@@ -42,10 +42,15 @@ class FlowSensitiveResult:
         var_pts: Dict[Variable, Set[object]],
         memory_at: Dict[int, _Memory],
         iterations: int,
+        timed_out: bool = False,
     ) -> None:
         self.var_pts = var_pts
         self.memory_at = memory_at
         self.iterations = iterations
+        #: the deadline cut the fixed point short: the result is a sound
+        #: partial under-approximation, not a fixpoint — callers must not
+        #: treat it as converged
+        self.timed_out = timed_out
 
     def points_to(self, value: Value) -> FrozenSet[object]:
         if isinstance(value, FunctionRef):
@@ -78,8 +83,8 @@ def flow_sensitive_pointsto(
     """Whole-program flow-sensitive points-to with cross-thread def-use.
 
     ``deadline`` (a ``time.perf_counter`` instant) aborts between
-    functions for benchmark budgets; the partial result is flagged by
-    the caller as a timeout.
+    functions for benchmark budgets; the partial result carries an
+    explicit ``timed_out`` flag (it used to be on the caller to notice).
     """
     import time as _time
     if tcg is None:
@@ -115,13 +120,16 @@ def flow_sensitive_pointsto(
 
     iterations = 0
     changed = True
+    timed_out = False
     while changed and iterations < max_iterations:
         if deadline is not None and _time.perf_counter() > deadline:
+            timed_out = True
             break
         iterations += 1
         changed = False
         for func in module.functions.values():
             if deadline is not None and _time.perf_counter() > deadline:
+                timed_out = True
                 break
             memory: _Memory = {}
             # Seed with callers'/other threads' effects discovered so far.
@@ -201,7 +209,7 @@ def flow_sensitive_pointsto(
                 if new != old:
                     target[obj] = new
                     changed = True
-    return FlowSensitiveResult(var_pts, memory_at, iterations)
+    return FlowSensitiveResult(var_pts, memory_at, iterations, timed_out=timed_out)
 
 
 def _merge(dst: Set[object], src: Set[object]) -> bool:

@@ -63,44 +63,54 @@ def cube_solve_model(
     max_workers: int = 4,
     solver_factory: Optional[Callable[[], Solver]] = None,
     max_conflicts: Optional[int] = None,
-) -> Tuple[Result, Optional[Model]]:
+    timeout: Optional[float] = None,
+) -> Tuple[Result, Optional[Model], str]:
     """Decide ``term`` by splitting into cubes solved in parallel.
 
-    SAT if any cube is SAT; UNSAT if all cubes are UNSAT; UNKNOWN if any
-    cube exhausted its budget and no cube was SAT.  On SAT the *winning
-    cube's* model comes back too — it satisfies the original formula
-    (the cube only fixes a few atoms), so realizability checking can
-    extract a witness interleaving from it exactly as in the monolithic
-    path.
+    SAT if any cube is SAT; UNSAT only if *every* cube is UNSAT; UNKNOWN
+    if any cube exhausted its budget and no cube was SAT — an undecided
+    cube could hide a model, so UNKNOWN is never collapsed into UNSAT.
+    On SAT the *winning cube's* model comes back too — it satisfies the
+    original formula (the cube only fixes a few atoms), so realizability
+    checking can extract a witness interleaving from it exactly as in
+    the monolithic path.
 
-    ``max_conflicts`` is the per-cube conflict budget; it is ignored when
-    an explicit ``solver_factory`` is supplied (the factory then owns the
-    budget).
+    Returns ``(verdict, model, unknown_reason)``: on UNKNOWN the third
+    element carries the first undecided cube's reason (``'conflicts'``,
+    ``'deadline'``, ...), empty otherwise.
+
+    ``max_conflicts`` is the per-cube conflict budget and ``timeout``
+    the per-cube wall budget in seconds; both are ignored when an
+    explicit ``solver_factory`` is supplied (the factory then owns the
+    budgets).
     """
     if solver_factory is None:
-        solver_factory = lambda: Solver(max_conflicts=max_conflicts)
+        solver_factory = lambda: Solver(max_conflicts=max_conflicts, timeout=timeout)
     if split_atoms is None:
         split_atoms = pick_split_atoms(term)
     if not split_atoms:
         solver = solver_factory()
         solver.add(term)
-        return solver.check(), solver.model()
+        return solver.check(), solver.model(), solver.unknown_reason or ""
 
-    def solve_cube(cube: List[BoolTerm]) -> Tuple[Result, Optional[Model]]:
+    def solve_cube(cube: List[BoolTerm]) -> Tuple[Result, Optional[Model], str]:
         solver = solver_factory()
         solver.add(term, *cube)
-        return solver.check(), solver.model()
+        return solver.check(), solver.model(), solver.unknown_reason or ""
 
     results: List[Result] = []
+    unknown_reason = ""
     cubes = list(_cubes(list(split_atoms)))
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        for result, model in pool.map(solve_cube, cubes):
+        for result, model, reason in pool.map(solve_cube, cubes):
             if result is SAT:
-                return SAT, model
+                return SAT, model, ""
+            if result is UNKNOWN and not unknown_reason:
+                unknown_reason = reason or "conflicts"
             results.append(result)
     if any(r is UNKNOWN for r in results):
-        return UNKNOWN, None
-    return UNSAT, None
+        return UNKNOWN, None, unknown_reason
+    return UNSAT, None, ""
 
 
 def cube_solve(
@@ -109,13 +119,15 @@ def cube_solve(
     max_workers: int = 4,
     solver_factory: Optional[Callable[[], Solver]] = None,
     max_conflicts: Optional[int] = None,
+    timeout: Optional[float] = None,
 ) -> Result:
     """Verdict-only wrapper over :func:`cube_solve_model`."""
-    verdict, _model = cube_solve_model(
+    verdict, _model, _reason = cube_solve_model(
         term,
         split_atoms=split_atoms,
         max_workers=max_workers,
         solver_factory=solver_factory,
         max_conflicts=max_conflicts,
+        timeout=timeout,
     )
     return verdict

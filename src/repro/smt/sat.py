@@ -12,10 +12,18 @@ decision level zero before yielding control.
 
 Literals follow the DIMACS convention: variable ``v`` is the positive
 integer ``v`` and its negation is ``-v``.
+
+Search is resource-bounded two ways: a **conflict budget**
+(``max_conflicts``) and a **wall-clock deadline** (``deadline``, a
+``time.monotonic`` instant polled cheaply during search).  Exhausting
+either returns :data:`UNKNOWN` — never conflated with :data:`UNSAT` —
+with the cause recorded in :attr:`SatSolver.unknown_reason`
+(``'conflicts'`` or ``'deadline'``).
 """
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional
 
 __all__ = ["SatSolver", "SAT", "UNSAT", "UNKNOWN"]
@@ -66,6 +74,8 @@ class SatSolver:
         self._ok = True
         self.model: Dict[int, bool] = {}
         self.conflicts = 0
+        #: why the last solve() returned UNKNOWN ('conflicts'|'deadline')
+        self.unknown_reason: Optional[str] = None
 
     # ----- variable / clause management -------------------------------
 
@@ -241,14 +251,34 @@ class SatSolver:
                 best, best_act = v, self._activity[v - 1]
         return best
 
-    def solve(self, max_conflicts: Optional[int] = None) -> str:
-        """Run CDCL search to completion (or the conflict budget)."""
+    def solve(
+        self,
+        max_conflicts: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> str:
+        """Run CDCL search to completion, the conflict budget, or the
+        ``deadline`` (a ``time.monotonic`` instant), whichever is first."""
+        self.unknown_reason = None
         if not self._ok:
             return UNSAT
+        if deadline is not None and time.monotonic() >= deadline:
+            self.unknown_reason = "deadline"
+            return UNKNOWN
         conflicts_here = 0
         restart_idx = 1
         restart_budget = 32 * _luby(restart_idx)
+        # Poll the clock every few decisions (a syscall per decision would
+        # dominate on small instances); conflicts poll unconditionally.
+        ticks = 0
         while True:
+            if deadline is not None:
+                ticks += 1
+                if ticks >= 16:
+                    ticks = 0
+                    if time.monotonic() >= deadline:
+                        self._backtrack(0)
+                        self.unknown_reason = "deadline"
+                        return UNKNOWN
             conflict = self._propagate()
             if conflict is not None:
                 self.conflicts += 1
@@ -269,6 +299,11 @@ class SatSolver:
                 self._var_inc /= self._var_decay
                 if max_conflicts is not None and conflicts_here >= max_conflicts:
                     self._backtrack(0)
+                    self.unknown_reason = "conflicts"
+                    return UNKNOWN
+                if deadline is not None and time.monotonic() >= deadline:
+                    self._backtrack(0)
+                    self.unknown_reason = "deadline"
                     return UNKNOWN
                 if conflicts_here >= restart_budget:
                     restart_idx += 1

@@ -167,13 +167,29 @@ class Model:
 
 
 class Solver:
-    """One-shot SMT solver instance (create, ``add`` assertions, ``check``)."""
+    """One-shot SMT solver instance (create, ``add`` assertions, ``check``).
 
-    def __init__(self, max_theory_rounds: int = 10_000, max_conflicts: Optional[int] = None) -> None:
+    ``max_conflicts`` bounds the CDCL core per :meth:`check`;
+    ``timeout`` (seconds) sets a wall deadline spanning the whole lazy
+    loop (SAT search *and* theory rounds).  Exhausting either yields
+    :data:`UNKNOWN` — distinct from both verdicts — with the cause in
+    :attr:`unknown_reason` (``'conflicts'``, ``'deadline'``, or
+    ``'theory-rounds'``).
+    """
+
+    def __init__(
+        self,
+        max_theory_rounds: int = 10_000,
+        max_conflicts: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
         self._assertions: List[BoolTerm] = []
         self._max_theory_rounds = max_theory_rounds
         self._max_conflicts = max_conflicts
+        self._timeout = timeout
         self._model: Optional[Model] = None
+        #: why the last check() returned UNKNOWN (None otherwise)
+        self.unknown_reason: Optional[str] = None
         self.statistics: Dict[str, int] = {"theory_rounds": 0, "sat_conflicts": 0, "quick_refuted": 0}
 
     def add(self, *terms: BoolTerm) -> None:
@@ -197,6 +213,10 @@ class Solver:
 
     def check(self) -> Result:
         self._model = None
+        self.unknown_reason = None
+        deadline = (
+            time.monotonic() + self._timeout if self._timeout is not None else None
+        )
         formula = and_(*self._assertions) if self._assertions else TRUE
         if formula is TRUE:
             self._model = Model({}, {})
@@ -218,12 +238,16 @@ class Solver:
                 return UNSAT
         theory_vars = encoder.theory_atoms()
         for _ in range(self._max_theory_rounds):
+            if deadline is not None and time.monotonic() >= deadline:
+                self.unknown_reason = "deadline"
+                return UNKNOWN
             self.statistics["theory_rounds"] += 1
-            result = sat.solve(max_conflicts=self._max_conflicts)
+            result = sat.solve(max_conflicts=self._max_conflicts, deadline=deadline)
             self.statistics["sat_conflicts"] = sat.conflicts
             if result is UNSAT:
                 return UNSAT
             if result is UNKNOWN:
+                self.unknown_reason = sat.unknown_reason or "conflicts"
                 return UNKNOWN
             model = sat.model
             theory = DifferenceLogicSolver()
@@ -249,6 +273,7 @@ class Solver:
                 return SAT
             if not sat.add_clause(sorted({-lit for lit in core})):
                 return UNSAT
+        self.unknown_reason = "theory-rounds"
         return UNKNOWN
 
     def _build_model(self, encoder: CnfEncoder, sat_model: Dict[int, bool], theory: DifferenceLogicSolver) -> Model:
@@ -275,25 +300,42 @@ def solve_formula(
     formula: BoolTerm,
     max_conflicts: Optional[int] = None,
     use_cube: bool = False,
-) -> Tuple[Result, Dict[str, int], Dict[str, bool], float]:
+    timeout: Optional[float] = None,
+) -> Tuple[Result, Dict[str, int], Dict[str, bool], float, str]:
     """Decide one formula and return only plain picklable data.
 
     This is the unit of work the parallel realizability backends ship to
     workers: ``(verdict, int_assignment, bool_atom_assignment,
-    solve_seconds)``.  The formula itself pickles structurally (terms
-    re-intern on load), and the result deliberately contains no ``Model``
-    or term objects so it crosses a process boundary cheaply.
+    solve_seconds, unknown_reason)``.  The formula itself pickles
+    structurally (terms re-intern on load), and the result deliberately
+    contains no ``Model`` or term objects so it crosses a process
+    boundary cheaply.  ``timeout`` is the per-query wall budget in
+    seconds (relative, so it is meaningful in any worker process); an
+    exhausted budget yields ``UNKNOWN`` with ``unknown_reason`` set
+    (``''`` on decided verdicts).
     """
+    from ..testing.faults import fault_point
+
     t0 = time.perf_counter()
+    t0_mono = time.monotonic()
+    fault_point("solver:solve")
+    if timeout is not None:
+        # The budget is anchored at query entry: time lost before the
+        # solver proper starts (e.g. an injected stall) counts against it.
+        timeout = max(0.0, timeout - (time.monotonic() - t0_mono))
+    reason = ""
     if use_cube:
         from .portfolio import cube_solve_model
 
-        verdict, model = cube_solve_model(formula, max_conflicts=max_conflicts)
+        verdict, model, reason = cube_solve_model(
+            formula, max_conflicts=max_conflicts, timeout=timeout
+        )
     else:
-        solver = Solver(max_conflicts=max_conflicts)
+        solver = Solver(max_conflicts=max_conflicts, timeout=timeout)
         solver.add(formula)
         verdict = solver.check()
         model = solver.model()
+        reason = solver.unknown_reason or ""
     ints: Dict[str, int] = {}
     bools: Dict[str, bool] = {}
     if verdict is SAT and model is not None:
@@ -301,4 +343,6 @@ def solve_formula(
         for atom, truth in model.bool_assignments().items():
             if isinstance(atom, BoolVar):
                 bools[atom.name] = truth
-    return verdict, ints, bools, time.perf_counter() - t0
+    if verdict is not UNKNOWN:
+        reason = ""
+    return verdict, ints, bools, time.perf_counter() - t0, reason

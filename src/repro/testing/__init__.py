@@ -1,0 +1,5 @@
+"""Test-support machinery that ships with the package (fault injection)."""
+
+from .faults import FaultError, FaultPlan, fault_point, inject, plan_from_seed
+
+__all__ = ["FaultError", "FaultPlan", "fault_point", "inject", "plan_from_seed"]

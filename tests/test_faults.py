@@ -1,0 +1,340 @@
+"""Deterministic fault injection: every promised degradation path.
+
+The resource-governance layer claims that a crashing pass, a stalled
+solver query, a dying pool worker, or an expired wall budget degrades a
+single report (with the degradation recorded) instead of taking down the
+run.  Each class here exercises one of those paths through the armed
+fault points in :mod:`repro.testing.faults`; the seed-matrix class
+mirrors the CI ``CANARY_FAULT_SEED`` sweep.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import AnalysisConfig, Canary
+from repro.analysis.fingerprint import report_to_portable
+from repro.detection import RealizabilityChecker, VerdictCache
+from repro.frontend import FrontendError
+from repro.smt import and_, int_var, lt
+from repro.testing import faults
+from repro.testing.faults import (
+    CRASHABLE_POINTS,
+    ENV_VAR,
+    FaultError,
+    FaultPlan,
+    fault_point,
+    inject,
+    plan_from_seed,
+    seed_from_env,
+)
+
+from programs import SIMPLE_UAF
+from test_corpus import CORPUS_FILES, _parse_directives
+from test_parallel_engine import bundle_for, empty_query
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    yield
+    faults.clear()
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return bundle_for(SIMPLE_UAF)
+
+
+def _formulas(n):
+    """Distinct satisfiable difference-logic formulas (unique variables
+    keep the verdict cache and in-stream dedup out of the way)."""
+    out = []
+    for i in range(n):
+        x, y = int_var(f"flt_x{i}"), int_var(f"flt_y{i}")
+        out.append(and_(lt(x, y), lt(y, x + 3)))
+    return out
+
+
+def _fresh_canary(**overrides):
+    overrides.setdefault("use_cache", False)
+    return Canary(AnalysisConfig(**overrides))
+
+
+class TestFaultHarness:
+    def test_plan_json_round_trip(self):
+        plan = FaultPlan.make(
+            crash=["pass:verify"],
+            stall=["solver:solve"],
+            die=["worker:solve"],
+            stall_seconds=0.1,
+            die_once_path="/tmp/tok",
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_inject_arms_and_always_disarms(self):
+        plan = FaultPlan.make(crash=["pass:verify"])
+        assert ENV_VAR not in os.environ
+        with inject(plan):
+            assert os.environ[ENV_VAR] == plan.to_json()
+        assert ENV_VAR not in os.environ
+
+    def test_unarmed_point_is_a_noop(self):
+        with inject(FaultPlan.make(crash=["pass:verify"])):
+            fault_point("pass:pointer")  # different point: no effect
+        fault_point("pass:verify")  # disarmed: no effect
+
+    def test_crash_point_raises_and_counts(self):
+        with inject(FaultPlan.make(crash=["pass:verify"])):
+            with pytest.raises(FaultError):
+                fault_point("pass:verify")
+            with pytest.raises(FaultError):
+                fault_point("pass:verify")
+            assert faults.fired("pass:verify") == 2
+
+    def test_stall_point_sleeps(self):
+        with inject(FaultPlan.make(stall=["solver:solve"], stall_seconds=0.05)):
+            t0 = time.perf_counter()
+            fault_point("solver:solve")
+            assert time.perf_counter() - t0 >= 0.05
+
+    def test_die_point_is_noop_in_main_process(self):
+        with inject(FaultPlan.make(die=["worker:solve"])):
+            fault_point("worker:solve")  # must not kill the test process
+        assert faults.fired("worker:solve") == 0 or True  # reached = survived
+
+    def test_plan_from_seed_is_deterministic(self):
+        assert plan_from_seed(0) == FaultPlan()
+        assert plan_from_seed(-3) == FaultPlan()
+        for seed in range(1, 14):
+            plan = plan_from_seed(seed)
+            assert plan == plan_from_seed(seed)
+            assert plan.crash == {CRASHABLE_POINTS[(seed - 1) % len(CRASHABLE_POINTS)]}
+            if seed % 3 == 0:
+                assert plan.stall == {"solver:solve"}
+            else:
+                assert plan.stall == frozenset()
+
+    def test_seed_from_env(self, monkeypatch):
+        monkeypatch.delenv(faults.SEED_ENV_VAR, raising=False)
+        assert seed_from_env() == 0
+        monkeypatch.setenv(faults.SEED_ENV_VAR, "7")
+        assert seed_from_env() == 7
+        monkeypatch.setenv(faults.SEED_ENV_VAR, "banana")
+        assert seed_from_env(default=2) == 2
+
+
+class TestPassCrashDegradation:
+    @pytest.mark.parametrize("point", CRASHABLE_POINTS)
+    def test_crashing_pass_degrades_not_raises(self, point):
+        with inject(FaultPlan.make(crash=[point])):
+            report = _fresh_canary().analyze_source(SIMPLE_UAF)
+        assert report.degradation_warnings, point
+        failed = [r for r in report.pass_statistics if r["status"] == "failed"]
+        assert failed and failed[0]["name"] == point.split("pass:", 1)[1], point
+        if point == "pass:verify":
+            # Verification is advisory: the analysis itself still runs.
+            assert report.num_reports >= 1
+        else:
+            assert report.num_reports == 0
+
+    @pytest.mark.parametrize("point", ["pass:parse", "pass:lower"])
+    def test_frontend_crash_yields_empty_degraded_report(self, point):
+        with inject(FaultPlan.make(crash=[point])):
+            report = _fresh_canary().analyze_source(SIMPLE_UAF)
+        assert report.num_reports == 0
+        assert any("frontend" in w for w in report.degradation_warnings)
+
+    def test_malformed_input_still_raises_frontend_error(self):
+        # FrontendError is the caller's problem, never degradation.
+        with pytest.raises(FrontendError):
+            _fresh_canary().analyze_source("int main( {{{")
+
+    def test_dataflow_crash_degrades(self):
+        with inject(FaultPlan.make(crash=["pass:dataflow"])):
+            report = _fresh_canary().analyze_source(SIMPLE_UAF)
+        assert report.num_reports == 0
+        assert any("dataflow" in w for w in report.degradation_warnings)
+
+    def test_crashing_checker_is_isolated_from_others(self):
+        with inject(FaultPlan.make(crash=["pass:detect:use-after-free"])):
+            report = _fresh_canary(
+                checkers=("use-after-free", "double-free")
+            ).analyze_source(SIMPLE_UAF)
+        assert "double-free" in report.checker_statistics
+        assert "use-after-free" not in report.checker_statistics
+        assert any("use-after-free" in w for w in report.degradation_warnings)
+
+    def test_degraded_report_round_trips_portably(self):
+        with inject(FaultPlan.make(crash=["pass:pointer"])):
+            report = _fresh_canary().analyze_source(SIMPLE_UAF)
+        portable = report_to_portable(report)
+        assert portable["degradation_warnings"] == report.degradation_warnings
+        assert portable["timed_out"] is False
+
+
+class TestSolverDegradation:
+    def test_stalled_queries_hit_deadline_and_degrade(self):
+        plan = FaultPlan.make(stall=["solver:solve"], stall_seconds=0.05)
+        with inject(plan):
+            report = _fresh_canary(solver_timeout_seconds=0.01).analyze_source(
+                SIMPLE_UAF
+            )
+        stats = report.solver_statistics
+        assert stats["unknown_deadline"] >= 1
+        assert report.num_reports == 0  # UNKNOWN is never reported as a bug
+        assert any("deadline" in w for w in report.degradation_warnings)
+        assert any("undecided" in w for w in report.degradation_warnings)
+
+    def test_unknown_is_counted_undecided_never_suppressed(self):
+        report = _fresh_canary(
+            solver_timeout_seconds=1e-6, collect_suppressed=True
+        ).analyze_source(SIMPLE_UAF)
+        undecided = sum(
+            s.get("undecided", 0) for s in report.checker_statistics.values()
+        )
+        assert undecided >= 1
+        # An undecided candidate was never *refuted*, so it must not show
+        # up among the suppressed (refutation-explained) candidates.
+        assert report.suppressed == []
+
+    def test_unknown_never_conflated_with_decided_verdicts(self):
+        report = _fresh_canary(solver_timeout_seconds=1e-6).analyze_source(SIMPLE_UAF)
+        s = report.solver_statistics
+        assert s["unknown"] >= 1
+        assert s["sat"] + s["unsat"] + s["unknown"] == s["queries"]
+        assert s["unknown_deadline"] + s["unknown_conflicts"] <= s["unknown"]
+
+
+class TestPoolFaultTolerance:
+    def test_worker_death_is_recorded_and_retried(self, bundle, tmp_path):
+        checker = RealizabilityChecker(bundle, backend="process", cache=VerdictCache())
+        plan = FaultPlan.make(
+            die=["worker:solve"], die_once_path=str(tmp_path / "died")
+        )
+        with inject(plan):
+            stream = checker.open_stream(max_workers=2, backend="process")
+            for formula in _formulas(4):
+                stream.submit_formula(formula)
+            results = stream.finish()
+        assert len(results) == 4
+        assert all(r.verdict == "sat" for r in results)
+        s = checker.statistics
+        assert s["pool_failures"] >= 1
+        assert s["pool_retries"] + s["pool_local_solves"] >= 1
+        assert checker.degradation_summary()
+
+    def test_retry_exhaustion_falls_back_to_local_solving(self, bundle):
+        checker = RealizabilityChecker(bundle, backend="process", cache=VerdictCache())
+        with inject(FaultPlan.make(die=["worker:solve"])):  # every worker dies
+            stream = checker.open_stream(max_workers=1, backend="process")
+            stream.max_retries = 1
+            stream.retry_backoff = 0.01
+            [formula] = _formulas(1)
+            stream.submit_formula(formula)
+            results = stream.finish()
+        assert len(results) == 1
+        assert results[0].verdict == "sat"  # solved in-process after retries
+        s = checker.statistics
+        assert s["pool_local_solves"] == 1
+        assert s["pool_failures"] >= 2  # the original death plus the retry's
+        summary = " ".join(checker.degradation_summary())
+        assert "re-solved locally" in summary
+
+    def test_batch_backend_falls_back_to_threads(self, bundle):
+        checker = RealizabilityChecker(bundle, backend="process", cache=VerdictCache())
+        queries = [empty_query(bundle), empty_query(bundle)]
+        with inject(FaultPlan.make(die=["worker:solve"])):
+            results = checker.check_many(queries, parallel=True, max_workers=2)
+        assert len(results) == 2
+        assert all(r.verdict in ("sat", "unsat") for r in results)
+        assert checker.statistics["pool_failures"] >= 1
+
+    def test_end_to_end_analysis_survives_pool_death(self, tmp_path):
+        plan = FaultPlan.make(
+            die=["worker:solve"], die_once_path=str(tmp_path / "died")
+        )
+        with inject(plan):
+            report = _fresh_canary(
+                parallel_solving=True,
+                solver_backend="process",
+                solver_workers=2,
+            ).analyze_source(SIMPLE_UAF)
+        assert report.num_reports >= 1  # the work was recovered, not dropped
+
+
+class TestWallBudgetDegradation:
+    def test_zero_budget_returns_partial_report_immediately(self):
+        t0 = time.perf_counter()
+        report = _fresh_canary(timeout_seconds=0.0).analyze_source(SIMPLE_UAF)
+        assert time.perf_counter() - t0 < 5.0
+        assert report.timed_out
+        assert report.num_reports == 0
+        assert report.pass_statistics is not None  # well-formed partial report
+
+    def test_degraded_runs_are_never_memoized(self):
+        canary = Canary(AnalysisConfig())  # caching on
+        with inject(FaultPlan.make(crash=["pass:verify"])):
+            degraded = canary.analyze_source(SIMPLE_UAF)
+        assert degraded.degradation_warnings
+        clean = canary.analyze_source(SIMPLE_UAF)
+        # A run-cache hit would have replayed the degradation verbatim.
+        assert clean.degradation_warnings == []
+        assert not clean.timed_out
+        assert clean.num_reports >= 1
+
+    def test_timed_out_flag_round_trips_portably(self):
+        report = _fresh_canary(timeout_seconds=0.0).analyze_source(SIMPLE_UAF)
+        assert report_to_portable(report)["timed_out"] is True
+
+
+class TestSeedMatrix:
+    """The CI fault matrix in miniature: every seeded scenario must end
+    in a completed report, degraded where (and only where) injected."""
+
+    @pytest.mark.parametrize("seed", range(0, 7))
+    def test_seeded_scenario_completes(self, seed):
+        plan = plan_from_seed(seed, stall_seconds=0.01)
+        with inject(plan):
+            report = _fresh_canary(solver_timeout_seconds=0.5).analyze_source(
+                SIMPLE_UAF
+            )
+        if seed == 0:
+            assert report.degradation_warnings == []
+            assert report.num_reports >= 1
+        else:
+            assert report.degradation_warnings
+
+
+class TestConflictBudgetCorpusRegression:
+    """Satellite of the UNKNOWN-propagation audit: a starved conflict
+    budget may only *remove* reports (SAT→UNKNOWN), never invent or flip
+    them — pinned across the whole regression corpus."""
+
+    @staticmethod
+    def _pair_keys(report):
+        return {
+            (b.kind, tuple(sorted((b.source.label, b.sink.label))))
+            for b in report.bugs
+        }
+
+    @pytest.mark.parametrize("path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES])
+    def test_tiny_conflict_budget_only_removes_reports(self, path):
+        text = path.read_text()
+        _expects, checkers, overrides = _parse_directives(text)
+        overrides.pop("solver_max_conflicts", None)
+        full = Canary(AnalysisConfig(checkers=checkers, **overrides)).analyze_source(
+            text, filename=path.name
+        )
+        tiny = Canary(
+            AnalysisConfig(checkers=checkers, solver_max_conflicts=1, **overrides)
+        ).analyze_source(text, filename=path.name)
+        full_keys = self._pair_keys(full)
+        tiny_keys = self._pair_keys(tiny)
+        assert tiny_keys <= full_keys, path.name
+        missing = full_keys - tiny_keys
+        if missing:
+            undecided = sum(
+                s.get("undecided", 0) for s in tiny.checker_statistics.values()
+            )
+            assert undecided >= 1, path.name
