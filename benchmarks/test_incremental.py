@@ -17,11 +17,11 @@ vary) — the assertions pin the pass counts and the key equivalence.
 
 from __future__ import annotations
 
-import json
 import pathlib
 import time
 
 from repro import AnalysisConfig, Canary
+from repro.bench import write_bench_results
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 RESULTS = ROOT / "BENCH_incremental.json"
@@ -86,7 +86,7 @@ _results: dict = {}
 
 def _record(name: str, **data) -> None:
     _results[name] = data
-    RESULTS.write_text(json.dumps(_results, indent=2, sort_keys=True) + "\n")
+    write_bench_results(RESULTS, _results, suite="incremental")
 
 
 def test_warm_rerun_executes_zero_passes():

@@ -20,11 +20,11 @@ generous pathology bounds.
 
 from __future__ import annotations
 
-import json
 import pathlib
 import time
 
 from repro import AnalysisConfig, Canary
+from repro.bench import write_bench_results
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 RESULTS = ROOT / "BENCH_enumeration.json"
@@ -119,7 +119,7 @@ _results: dict = {}
 
 def _record(name: str, **data) -> None:
     _results[name] = data
-    RESULTS.write_text(json.dumps(_results, indent=2, sort_keys=True) + "\n")
+    write_bench_results(RESULTS, _results, suite="enumeration")
 
 
 def test_dead_fanout_reachability_prune():

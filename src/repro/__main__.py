@@ -11,6 +11,7 @@ import sys
 from .analysis import AnalysisConfig, Canary
 from .checkers import ALL_CHECKERS
 from .frontend import FrontendError
+from .obs import Tracer, write_chrome_trace, write_metrics_json, write_trace_ndjson
 
 
 def main(argv=None) -> int:
@@ -125,6 +126,27 @@ def main(argv=None) -> int:
         action="store_true",
         help="print the per-pass table and artifact hit/miss events",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write the run's trace spans as newline-delimited JSON"
+        " (one span per line, first line is the provenance meta record)",
+    )
+    parser.add_argument(
+        "--trace-chrome",
+        default=None,
+        metavar="FILE",
+        help="write the run's trace in Chrome trace-event format"
+        " (loadable in chrome://tracing and Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write every analyzed file's metrics registry as flat JSON"
+        " ({meta, files: {path: {metric: value}}})",
+    )
     args = parser.parse_args(argv)
 
     checkers = tuple(c.strip() for c in args.checkers.split(",") if c.strip())
@@ -161,7 +183,10 @@ def main(argv=None) -> int:
         cache_dir=args.cache_dir,
         explain_cache=args.explain_cache,
     )
-    canary = Canary(config)
+    tracing = args.trace_out is not None or args.trace_chrome is not None
+    tracer = Tracer(enabled=True) if tracing else None
+    canary = Canary(config, tracer=tracer)
+    file_metrics = {}
     total = 0
     for path in args.files:
         try:
@@ -175,6 +200,8 @@ def main(argv=None) -> int:
         except FrontendError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        if args.metrics_out is not None:
+            file_metrics[path] = report.metrics.snapshot()
         total += report.num_reports
         status = " (timed out — partial results)" if report.timed_out else ""
         print(f"{path}: {report.num_reports} finding(s){status}")
@@ -193,6 +220,20 @@ def main(argv=None) -> int:
             print()
         if args.show_vfg and report.bundle is not None:
             print(report.bundle.vfg.pretty())
+    if tracer is not None:
+        if args.trace_out is not None:
+            count = write_trace_ndjson(tracer.finished, args.trace_out)
+            print(f"trace: {count} span(s) -> {args.trace_out}", file=sys.stderr)
+        if args.trace_chrome is not None:
+            count = write_chrome_trace(tracer.finished, args.trace_chrome)
+            print(
+                f"trace: {count} event(s) -> {args.trace_chrome}", file=sys.stderr
+            )
+    if args.metrics_out is not None:
+        write_metrics_json(
+            args.metrics_out, files=file_metrics, config_digest=config.cache_key()
+        )
+        print(f"metrics: {len(file_metrics)} file(s) -> {args.metrics_out}", file=sys.stderr)
     return 1 if total else 0
 
 

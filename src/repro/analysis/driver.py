@@ -12,54 +12,189 @@ owned by the driver lets repeated runs skip passes whose input hashes
 are unchanged — a warm re-run of identical input executes no analysis
 pass at all, and after editing one function only the passes downstream
 of the change re-execute.
+
+Since PR 5 every run's statistics live in one
+:class:`~repro.obs.metrics.MetricsRegistry` (``report.metrics``): the
+solver counters, per-checker phase and enumeration counters, cache
+counters, pass table and phase timings all share a single namespace the
+exporters (``--metrics-out``) and the bench runner dump uniformly.  The
+legacy accessors below (``solver_statistics``, ``checker_statistics``,
+``search_statistics``, ``pass_statistics``, ``timings``, ...) are
+*views* over that registry — they rebuild the historical dict shapes
+exactly, so ``--stats`` output and every downstream consumer see
+byte-identical data.  A driver can also carry a
+:class:`~repro.obs.tracer.Tracer` (``--trace-out``/``--trace-chrome``)
+for a per-span timeline of the same run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..checkers import BugReport
 from ..frontend.ast_nodes import Program
 from ..ir.module import IRModule
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..vfg.builder import VFGBundle
 from .artifacts import ArtifactStore
 from .config import AnalysisConfig
 
 __all__ = ["Canary", "AnalysisReport"]
 
+#: registry namespaces backing the legacy accessors
+_NS_SOLVER = "solver"
+_NS_CACHE = "cache"
+_NS_TIME = "time"
+_NS_VFG = "vfg"
+_NS_CHECKER = "checker"
+_NS_SEARCH = "search"
+_SERIES_PASSES = "passes"
 
-@dataclass
+
 class AnalysisReport:
-    """The result of one Canary run."""
+    """The result of one Canary run.
 
-    bugs: List[BugReport] = field(default_factory=list)
-    #: solver-refuted candidates with reasons (when collect_suppressed)
-    suppressed: List = field(default_factory=list)
-    vfg_summary: Dict[str, int] = field(default_factory=dict)
-    timings: Dict[str, float] = field(default_factory=dict)
-    peak_memory_bytes: int = 0
-    solver_statistics: Dict[str, int] = field(default_factory=dict)
-    #: per-checker phase counts: checker name -> {sources, candidates, reports}
-    checker_statistics: Dict[str, Dict[str, int]] = field(default_factory=dict)
-    #: per-checker enumeration counters (visits, prunes, memo hits, ...)
-    search_statistics: Dict[str, Dict[str, int]] = field(default_factory=dict)
-    #: soundness warnings: searches that hit a bound (enumeration truncated)
-    truncation_warnings: List[str] = field(default_factory=list)
-    #: graceful-degradation notes: isolated pass/checker failures, solver
-    #: pool deaths, budget-starved queries.  A non-empty list means the
-    #: report is complete but was produced on a degraded pipeline.
-    degradation_warnings: List[str] = field(default_factory=list)
-    #: the run's wall-clock budget expired: the report is partial (the
-    #: passes and checkers that ran are accounted in pass_statistics)
-    timed_out: bool = False
-    #: uniform per-pass rows: {name, status ('run'|'cached'), seconds, detail}
-    pass_statistics: List[Dict[str, Any]] = field(default_factory=list)
-    #: artifact-store hit/miss counters plus run/cached pass counts
-    cache_statistics: Dict[str, int] = field(default_factory=dict)
-    #: per-artifact hit/miss/store events (populated with explain_cache)
-    cache_events: List[str] = field(default_factory=list)
-    bundle: Optional[VFGBundle] = None
+    All numeric statistics are stored in ``self.metrics`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`); the keyword arguments
+    and same-named accessors below exist for compatibility — they seed
+    and re-derive the historical dict shapes from the registry.
+    """
+
+    def __init__(
+        self,
+        bugs: Optional[List[BugReport]] = None,
+        suppressed: Optional[List] = None,
+        vfg_summary: Optional[Dict[str, int]] = None,
+        timings: Optional[Dict[str, float]] = None,
+        peak_memory_bytes: int = 0,
+        solver_statistics: Optional[Dict[str, int]] = None,
+        checker_statistics: Optional[Dict[str, Dict[str, int]]] = None,
+        search_statistics: Optional[Dict[str, Dict[str, int]]] = None,
+        truncation_warnings: Optional[List[str]] = None,
+        degradation_warnings: Optional[List[str]] = None,
+        timed_out: bool = False,
+        pass_statistics: Optional[List[Dict[str, Any]]] = None,
+        cache_statistics: Optional[Dict[str, int]] = None,
+        cache_events: Optional[List[str]] = None,
+        bundle: Optional[VFGBundle] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        #: the single home of this run's statistics
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.bugs: List[BugReport] = list(bugs) if bugs else []
+        #: solver-refuted candidates with reasons (when collect_suppressed)
+        self.suppressed: List = list(suppressed) if suppressed else []
+        #: soundness warnings: searches that hit a bound (enumeration truncated)
+        self.truncation_warnings: List[str] = (
+            list(truncation_warnings) if truncation_warnings else []
+        )
+        #: graceful-degradation notes: isolated pass/checker failures, solver
+        #: pool deaths, budget-starved queries.  A non-empty list means the
+        #: report is complete but was produced on a degraded pipeline.
+        self.degradation_warnings: List[str] = (
+            list(degradation_warnings) if degradation_warnings else []
+        )
+        #: the run's wall-clock budget expired: the report is partial (the
+        #: passes and checkers that ran are accounted in pass_statistics)
+        self.timed_out = timed_out
+        #: per-artifact hit/miss/store events (populated with explain_cache)
+        self.cache_events: List[str] = list(cache_events) if cache_events else []
+        self.bundle = bundle
+        # Seed the registry from any legacy-shaped inputs (cache replay,
+        # portable rehydration, tests).  The live pipeline passes the
+        # already-populated run registry and no legacy dicts instead.
+        if vfg_summary:
+            for key, value in vfg_summary.items():
+                self.metrics.set(f"{_NS_VFG}.{key}", value)
+        if timings:
+            self.timings = timings
+        if peak_memory_bytes:
+            self.peak_memory_bytes = peak_memory_bytes
+        if solver_statistics:
+            for key, value in solver_statistics.items():
+                self.metrics.counter(f"{_NS_SOLVER}.{key}").add(value)
+        if checker_statistics:
+            for name, stats in checker_statistics.items():
+                for key, value in stats.items():
+                    self.metrics.counter(f"{_NS_CHECKER}.{key}", checker=name).add(value)
+        if search_statistics:
+            for name, stats in search_statistics.items():
+                for key, value in stats.items():
+                    self.metrics.counter(f"{_NS_SEARCH}.{key}", checker=name).add(value)
+        if pass_statistics:
+            self.pass_statistics = pass_statistics
+        if cache_statistics:
+            self.cache_statistics = cache_statistics
+
+    # ----- registry-backed views (legacy accessors) -------------------------
+
+    @property
+    def vfg_summary(self) -> Dict[str, int]:
+        return self.metrics.namespace(_NS_VFG)
+
+    @property
+    def timings(self) -> Dict[str, float]:
+        return self.metrics.namespace(_NS_TIME)
+
+    @timings.setter
+    def timings(self, value: Dict[str, float]) -> None:
+        self.metrics.clear_namespace(_NS_TIME)
+        for key, seconds in value.items():
+            self.metrics.set(f"{_NS_TIME}.{key}", seconds)
+
+    def set_timing(self, phase: str, seconds: float) -> None:
+        self.metrics.set(f"{_NS_TIME}.{phase}", seconds)
+
+    @property
+    def peak_memory_bytes(self) -> int:
+        return self.metrics.value("process.peak_memory_bytes", default=0)
+
+    @peak_memory_bytes.setter
+    def peak_memory_bytes(self, value: int) -> None:
+        self.metrics.set("process.peak_memory_bytes", value)
+
+    @property
+    def solver_statistics(self) -> Dict[str, int]:
+        return self.metrics.namespace(_NS_SOLVER)
+
+    def _labelled_stats(self, prefix: str) -> Dict[str, Dict[str, int]]:
+        return {
+            name: self.metrics.namespace(prefix, label=("checker", name))
+            for name in self.metrics.label_values(prefix, "checker")
+        }
+
+    @property
+    def checker_statistics(self) -> Dict[str, Dict[str, int]]:
+        """Per-checker phase counts: checker name -> {sources, candidates, reports}."""
+        return self._labelled_stats(_NS_CHECKER)
+
+    @property
+    def search_statistics(self) -> Dict[str, Dict[str, int]]:
+        """Per-checker enumeration counters (visits, prunes, memo hits, ...)."""
+        return self._labelled_stats(_NS_SEARCH)
+
+    @property
+    def pass_statistics(self) -> List[Dict[str, Any]]:
+        """Uniform per-pass rows: {name, status ('run'|'cached'), seconds, detail}."""
+        return [dict(row) for row in self.metrics.series(_SERIES_PASSES)]
+
+    @pass_statistics.setter
+    def pass_statistics(self, rows: List[Dict[str, Any]]) -> None:
+        self.metrics.replace_series(_SERIES_PASSES, rows)
+
+    @property
+    def cache_statistics(self) -> Dict[str, int]:
+        """Artifact-store hit/miss counters plus run/cached pass counts."""
+        return self.metrics.namespace(_NS_CACHE)
+
+    @cache_statistics.setter
+    def cache_statistics(self, value: Dict[str, int]) -> None:
+        self.metrics.clear_namespace(_NS_CACHE)
+        for key, count in value.items():
+            self.metrics.counter(f"{_NS_CACHE}.{key}").add(count)
+
+    # ----- derived ----------------------------------------------------------
 
     @property
     def num_reports(self) -> int:
@@ -67,8 +202,9 @@ class AnalysisReport:
 
     @property
     def cache_hit_rate(self) -> float:
-        hits = self.solver_statistics.get("cache_hits", 0)
-        misses = self.solver_statistics.get("cache_misses", 0)
+        s = self.solver_statistics
+        hits = s.get("cache_hits", 0)
+        misses = s.get("cache_misses", 0)
         return hits / (hits + misses) if hits + misses else 0.0
 
     def passes_run(self) -> List[str]:
@@ -147,13 +283,16 @@ class Canary:
 
     The driver owns an :class:`ArtifactStore`: repeated ``analyze_*``
     calls on one instance reuse phase artifacts whose content hashes are
-    unchanged (disable with ``AnalysisConfig(use_cache=False)``).
+    unchanged (disable with ``AnalysisConfig(use_cache=False)``).  An
+    optional :class:`~repro.obs.tracer.Tracer` collects the span
+    timeline across all runs of the instance.
     """
 
     def __init__(
         self,
         config: Optional[AnalysisConfig] = None,
         store: Optional[ArtifactStore] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         # A fresh config per instance: a shared default instance would
         # leak artifact state between unrelated drivers.
@@ -163,11 +302,12 @@ class Canary:
                 self.config.cache_dir if self.config.use_cache else None
             )
         self.store = store
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def _pipeline(self):
         from .passes import AnalysisPipeline
 
-        return AnalysisPipeline(self.config, self.store)
+        return AnalysisPipeline(self.config, self.store, tracer=self.tracer)
 
     # ----- pipeline entry points ---------------------------------------------
 

@@ -127,7 +127,9 @@ def report_to_portable(report: "AnalysisReport") -> dict:
     }
 
 
-def report_from_portable(data: dict, module: IRModule) -> "AnalysisReport":
+def report_from_portable(
+    data: dict, module: IRModule, metrics=None
+) -> "AnalysisReport":
     """Rehydrate a portable report against a freshly lowered module.
 
     Raises ``KeyError`` when a recorded label no longer exists (stale
@@ -177,4 +179,5 @@ def report_from_portable(data: dict, module: IRModule) -> "AnalysisReport":
         degradation_warnings=list(data.get("degradation_warnings", ())),
         timed_out=bool(data.get("timed_out", False)),
         bundle=None,
+        metrics=metrics,
     )

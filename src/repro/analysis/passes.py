@@ -41,6 +41,8 @@ from ..frontend.ast_nodes import Program
 from ..ir.module import IRModule
 from ..ir.verifier import verify_module
 from ..lowering import LoweringCache, lower_program_incremental
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..pointer.steensgaard import steensgaard
 from ..threads.callgraph import build_thread_call_graph
 from ..threads.mhp import MhpAnalysis
@@ -94,9 +96,12 @@ class PassManager:
     the caller decides how much of the pipeline can still run.
     """
 
-    def __init__(self, budget: Optional[Budget] = None) -> None:
+    def __init__(
+        self, budget: Optional[Budget] = None, tracer: Optional[Tracer] = None
+    ) -> None:
         self.records: List[PassRecord] = []
         self.budget = budget
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: graceful-degradation notes, surfaced on the final report
         self.warnings: List[str] = []
 
@@ -119,8 +124,9 @@ class PassManager:
         row — the pipeline keeps going with whatever can still run."""
         t0 = time.perf_counter()
         try:
-            fault_point(f"pass:{name}")
-            result = fn()
+            with self.tracer.span(f"pass:{name}"):
+                fault_point(f"pass:{name}")
+                result = fn()
         except Exception as exc:
             seconds = time.perf_counter() - t0
             self.records.append(
@@ -172,18 +178,35 @@ class PassManager:
 class AnalysisPipeline:
     """One analysis run, staged over the artifact store."""
 
-    def __init__(self, config: AnalysisConfig, store: ArtifactStore) -> None:
+    def __init__(
+        self,
+        config: AnalysisConfig,
+        store: ArtifactStore,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.config = config
         self.store = store
         # The run's resource budget: the wall clock starts here (the
         # driver builds a fresh pipeline per analyze_* call).
         self.budget = Budget.from_config(config)
-        self.pm = PassManager(budget=self.budget)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: the run's metrics registry — every statistic of this analysis
+        #: (pass rows, solver/checker/search counters, cache counters,
+        #: timings) lands here; the final report exposes it as
+        #: ``report.metrics`` with the legacy accessors as views.
+        self.registry = MetricsRegistry()
+        self.pm = PassManager(budget=self.budget, tracer=self.tracer)
 
     # ----- entry points -----------------------------------------------------
 
     def analyze_source(
         self, source: str, filename: str = "<input>", track_memory: bool = False
+    ) -> AnalysisReport:
+        with self.tracer.span("analyze", file=filename, entry="source"):
+            return self._analyze_source(source, filename, track_memory)
+
+    def _analyze_source(
+        self, source: str, filename: str, track_memory: bool
     ) -> AnalysisReport:
         cfg = self.config
         caching = cfg.use_cache and not track_memory
@@ -219,8 +242,8 @@ class AnalysisPipeline:
         report = self._analyze_module(
             module, lineage=filename, track_memory=track_memory, caching=caching
         )
-        report.timings["parse"] = self.pm.seconds_of("parse")
-        report.timings["lowering"] = self.pm.seconds_of("lower")
+        report.set_timing("parse", self.pm.seconds_of("parse"))
+        report.set_timing("lowering", self.pm.seconds_of("lower"))
         # Degraded runs (budget expiry, isolated failures) are partial by
         # definition: caching them would pin the degradation.
         if caching and not report.timed_out and not report.degradation_warnings:
@@ -232,23 +255,25 @@ class AnalysisPipeline:
         return report
 
     def analyze_ast(self, ast: Program, track_memory: bool = False) -> AnalysisReport:
-        caching = self.config.use_cache and not track_memory
-        self.store.begin_run()
-        module = self._lower(ast, None, caching)
-        report = self._analyze_module(
-            module, lineage=None, track_memory=track_memory, caching=caching
-        )
-        report.timings["lowering"] = self.pm.seconds_of("lower")
-        return report
+        with self.tracer.span("analyze", entry="ast"):
+            caching = self.config.use_cache and not track_memory
+            self.store.begin_run()
+            module = self._lower(ast, None, caching)
+            report = self._analyze_module(
+                module, lineage=None, track_memory=track_memory, caching=caching
+            )
+            report.set_timing("lowering", self.pm.seconds_of("lower"))
+            return report
 
     def analyze_module(
         self, module: IRModule, track_memory: bool = False
     ) -> AnalysisReport:
-        self.store.begin_run()
-        caching = self.config.use_cache and not track_memory
-        return self._analyze_module(
-            module, lineage=None, track_memory=track_memory, caching=caching
-        )
+        with self.tracer.span("analyze", entry="module"):
+            self.store.begin_run()
+            caching = self.config.use_cache and not track_memory
+            return self._analyze_module(
+                module, lineage=None, track_memory=track_memory, caching=caching
+            )
 
     # ----- cached-run replay ------------------------------------------------
 
@@ -270,6 +295,7 @@ class AnalysisPipeline:
             degradation_warnings=list(stored.degradation_warnings),
             timed_out=stored.timed_out,
             bundle=stored.bundle,
+            metrics=self.registry,
         )
         self._finish_report(report, events_mark)
         return report
@@ -280,7 +306,7 @@ class AnalysisPipeline:
         """Disk hit: parse+lower ran live (labels are deterministic), the
         remaining passes rehydrate from the portable record."""
         try:
-            report = report_from_portable(data, module)
+            report = report_from_portable(data, module, metrics=self.registry)
         except KeyError:
             self.store.note("stale disk:run")
             return None
@@ -368,13 +394,15 @@ class AnalysisPipeline:
                     "solving": solver_stats.get("solve_seconds", 0.0),
                 },
                 peak_memory_bytes=peak,
-                solver_statistics=solver_stats,
+                # solver.* counters are NOT re-seeded: the realizability
+                # checker shares this run's registry and wrote them live.
                 checker_statistics=checker_statistics,
                 search_statistics=search_statistics,
                 truncation_warnings=truncation_warnings,
                 degradation_warnings=degradation,
                 timed_out=bool(budget.expirations),
                 bundle=bundle,
+                metrics=self.registry,
             )
             self._finish_report(report, events_mark)
             return report
@@ -441,10 +469,12 @@ class AnalysisPipeline:
             tcg,
             max_content_entries=cfg.max_content_entries,
             prune_guards=cfg.prune_guards,
+            tracer=self.tracer,
         )
         try:
-            fault_point("pass:dataflow")
-            dataflow.run(journal)
+            with self.tracer.span("pass:dataflow"):
+                fault_point("pass:dataflow")
+                dataflow.run(journal)
         except Exception as exc:
             pm.record("dataflow", "failed", 0.0, f"{type(exc).__name__}: {exc}")
             pm.warn(
@@ -509,6 +539,8 @@ class AnalysisPipeline:
             cache=self._verdict_cache(caching),
             solver_timeout=cfg.solver_timeout_seconds,
             budget=budget,
+            metrics=self.registry,
+            tracer=self.tracer,
         )
         limits = SearchLimits(
             max_depth=cfg.max_path_depth,
@@ -539,6 +571,7 @@ class AnalysisPipeline:
                 streaming=cfg.streaming_solving,
                 enumeration_workers=cfg.enumeration_workers,
                 budget=budget,
+                tracer=self.tracer,
             )
             fingerprint = None
             if caching and lineage is not None:
@@ -612,6 +645,7 @@ class AnalysisPipeline:
             },
             degradation_warnings=list(self.pm.warnings),
             timed_out=bool(self.budget.expirations),
+            metrics=self.registry,
         )
         self._finish_report(report, events_mark)
         return report

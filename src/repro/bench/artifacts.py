@@ -155,7 +155,16 @@ def ascii_time_chart(runs: Sequence[SubjectRun], width: int = 60) -> str:
 
 
 def write_artifacts(runs: Sequence[SubjectRun], directory) -> List[str]:
-    """Write all CSVs + the ASCII chart to ``directory``; returns paths."""
+    """Write all CSVs + the ASCII chart to ``directory``; returns paths.
+
+    A ``meta.json`` provenance stamp (git sha, python, timestamp) rides
+    along so artifact bundles from different CI matrix entries stay
+    distinguishable.
+    """
+    import json
+
+    from ..obs import run_meta
+
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     written = []
@@ -164,6 +173,7 @@ def write_artifacts(runs: Sequence[SubjectRun], directory) -> List[str]:
         ("table1.csv", table1_csv(runs)),
         ("fig8.csv", fig8_csv(runs)),
         ("fig7a_ascii.txt", ascii_time_chart(runs)),
+        ("meta.json", json.dumps(run_meta(), indent=2, sort_keys=True) + "\n"),
     ):
         path = directory / name
         path.write_text(content)

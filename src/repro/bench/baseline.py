@@ -1,0 +1,47 @@
+"""Benchmark baseline files: the ``BENCH_*.json`` writer and loader.
+
+Every benchmark artifact shares one on-disk shape::
+
+    {
+      "meta":  {...},          # provenance block from repro.obs.run_meta()
+      "<benchmark>": {...},    # one object of recorded numbers per benchmark
+      ...
+    }
+
+``write_bench_results`` stamps the ``meta`` block so artifacts produced
+by different CI matrix entries (python version, runner, commit) stay
+distinguishable; ``load_bench_results`` strips it again so comparison
+code only ever sees the measurements.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Tuple
+
+from ..obs import run_meta
+
+__all__ = ["write_bench_results", "load_bench_results"]
+
+
+def write_bench_results(path, results: Dict[str, Dict[str, Any]], **meta_extra) -> None:
+    """Write a ``BENCH_*.json`` document: measurements plus ``meta``."""
+    doc: Dict[str, Any] = {"meta": run_meta(**meta_extra)}
+    for name, data in results.items():
+        if name == "meta":
+            raise ValueError("benchmark name 'meta' is reserved")
+        doc[name] = data
+    pathlib.Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def load_bench_results(path) -> Tuple[Dict[str, Any], Dict[str, Dict[str, Any]]]:
+    """Read a ``BENCH_*.json`` document; returns ``(meta, results)``.
+
+    Pre-observability baselines without a ``meta`` block load with an
+    empty meta dict, so the regression gate keeps working across the
+    format transition.
+    """
+    doc = json.loads(pathlib.Path(path).read_text())
+    meta = doc.pop("meta", {})
+    return meta, doc

@@ -1,0 +1,220 @@
+"""Benchmark-regression gate: diff fresh ``BENCH_*.json`` against baselines.
+
+CI regenerates ``BENCH_enumeration.json`` / ``BENCH_incremental.json``
+and this module compares them against the committed baselines::
+
+    python -m repro.bench.compare_baselines BASELINE FRESH [BASELINE FRESH ...] \
+        [--tolerance 0.35]
+
+Comparison rules, per metric key:
+
+* ``meta`` blocks are provenance, never compared;
+* **timing metrics** — keys ending in ``_s`` or containing ``seconds``
+  — are noisy, so they only fail when the fresh value *regresses*
+  (gets slower) by more than the relative tolerance; speedups pass at
+  any magnitude.  ``speedup`` is the same check mirrored (higher is
+  better, so only a drop beyond the tolerance fails);
+* **everything else** (visit counts, query counts, pass lists, bug
+  keys, reduction ratios) is deterministic and must match exactly;
+* a metric present in the baseline but missing from the fresh run is a
+  regression; a new metric only in the fresh run is reported but does
+  not fail (baselines are refreshed by committing the new file).
+
+The gate prints a delta table for every comparison and exits non-zero
+iff at least one regression was found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .baseline import load_bench_results
+
+__all__ = ["Delta", "compare_documents", "render_deltas", "main"]
+
+#: default relative tolerance for timing metrics (±35 %)
+DEFAULT_TOLERANCE = 0.35
+
+
+def is_timing_key(key: str) -> bool:
+    """Wall-clock-derived metrics: compared with a relative tolerance."""
+    return key.endswith("_s") or "seconds" in key or key == "speedup"
+
+
+def higher_is_better(key: str) -> bool:
+    return key == "speedup"
+
+
+@dataclass
+class Delta:
+    """One compared metric: its values and the verdict."""
+
+    benchmark: str
+    key: str
+    baseline: Any
+    fresh: Any
+    status: str  # "ok" | "exact" | "new" | "REGRESSION"
+    note: str = ""
+
+    @property
+    def regressed(self) -> bool:
+        return self.status == "REGRESSION"
+
+
+def _relative_change(baseline: float, fresh: float) -> Optional[float]:
+    if baseline == 0:
+        return None if fresh == 0 else float("inf")
+    return (fresh - baseline) / abs(baseline)
+
+
+def _compare_timing(benchmark: str, key: str, base: float, fresh: float, tolerance: float) -> Delta:
+    change = _relative_change(base, fresh)
+    if change is None:
+        return Delta(benchmark, key, base, fresh, "ok", "both zero")
+    note = f"{change:+.1%}"
+    if higher_is_better(key):
+        regressed = change < -tolerance
+    else:
+        regressed = change > tolerance
+    if regressed:
+        return Delta(
+            benchmark, key, base, fresh, "REGRESSION", f"{note} (tolerance ±{tolerance:.0%})"
+        )
+    return Delta(benchmark, key, base, fresh, "ok", note)
+
+
+def _compare_exact(benchmark: str, key: str, base: Any, fresh: Any) -> Delta:
+    if base == fresh:
+        return Delta(benchmark, key, base, fresh, "exact")
+    return Delta(benchmark, key, base, fresh, "REGRESSION", "exact-match metric changed")
+
+
+def compare_documents(
+    baseline: Dict[str, Dict[str, Any]],
+    fresh: Dict[str, Dict[str, Any]],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[Delta]:
+    """Compare two loaded BENCH documents (``meta`` already stripped)."""
+    deltas: List[Delta] = []
+    for bench_name, base_metrics in baseline.items():
+        fresh_metrics = fresh.get(bench_name)
+        if fresh_metrics is None:
+            deltas.append(
+                Delta(bench_name, "*", "present", "missing", "REGRESSION", "benchmark not run")
+            )
+            continue
+        for key, base_value in base_metrics.items():
+            if key not in fresh_metrics:
+                deltas.append(
+                    Delta(bench_name, key, base_value, None, "REGRESSION", "metric missing")
+                )
+                continue
+            fresh_value = fresh_metrics[key]
+            numeric = isinstance(base_value, (int, float)) and isinstance(
+                fresh_value, (int, float)
+            )
+            if is_timing_key(key) and numeric:
+                deltas.append(
+                    _compare_timing(bench_name, key, base_value, fresh_value, tolerance)
+                )
+            else:
+                deltas.append(_compare_exact(bench_name, key, base_value, fresh_value))
+        for key in fresh_metrics:
+            if key not in base_metrics:
+                deltas.append(
+                    Delta(bench_name, key, None, fresh_metrics[key], "new", "not in baseline")
+                )
+    for bench_name in fresh:
+        if bench_name not in baseline:
+            deltas.append(Delta(bench_name, "*", None, "present", "new", "new benchmark"))
+    return deltas
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    text = str(value)
+    return text if len(text) <= 28 else text[:25] + "..."
+
+
+def render_deltas(deltas: List[Delta]) -> str:
+    """A readable fixed-width delta table."""
+    headers = ("benchmark", "metric", "baseline", "fresh", "status", "")
+    rows = [
+        (d.benchmark, d.key, _fmt(d.baseline), _fmt(d.fresh), d.status, d.note)
+        for d in deltas
+    ]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
+def compare_files(baseline_path, fresh_path, tolerance: float) -> List[Delta]:
+    _, baseline = load_bench_results(baseline_path)
+    _, fresh = load_bench_results(fresh_path)
+    return compare_documents(baseline, fresh, tolerance=tolerance)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.compare_baselines",
+        description="Fail when a fresh BENCH_*.json regresses against its baseline.",
+    )
+    parser.add_argument(
+        "files",
+        nargs="+",
+        metavar="BASELINE FRESH",
+        help="alternating baseline/fresh file pairs",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        metavar="FRACTION",
+        help="relative tolerance for timing metrics (default: %(default)s;"
+        " raise for noisy shared CI runners)",
+    )
+    args = parser.parse_args(argv)
+    if len(args.files) % 2 != 0:
+        parser.error("expected an even number of files (baseline/fresh pairs)")
+
+    regressions = 0
+    for i in range(0, len(args.files), 2):
+        baseline_path, fresh_path = args.files[i], args.files[i + 1]
+        for path in (baseline_path, fresh_path):
+            if not pathlib.Path(path).is_file():
+                print(f"error: no such file: {path}", file=sys.stderr)
+                return 2
+        deltas = compare_files(baseline_path, fresh_path, tolerance=args.tolerance)
+        print(f"== {fresh_path} vs baseline {baseline_path}")
+        print(render_deltas(deltas))
+        bad = sum(1 for d in deltas if d.regressed)
+        regressions += bad
+        print(
+            f"{bad} regression(s), "
+            f"{sum(1 for d in deltas if d.status == 'ok')} within tolerance, "
+            f"{sum(1 for d in deltas if d.status == 'exact')} exact, "
+            f"{sum(1 for d in deltas if d.status == 'new')} new"
+        )
+        print()
+    if regressions:
+        print(f"FAIL: {regressions} benchmark regression(s)", file=sys.stderr)
+        return 1
+    print("OK: no benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -155,7 +155,13 @@ class SourceSinkChecker:
         streaming: bool = True,
         enumeration_workers: int = 2,
         budget=None,
+        tracer=None,
     ) -> None:
+        from ..obs.tracer import NULL_TRACER
+
+        #: optional repro.obs Tracer: per-source ``enumerate`` spans
+        #: (explicitly parented — producers run on helper threads)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.parallel_solving = parallel_solving
         self.solver_workers = solver_workers
         self.solver_backend = solver_backend
@@ -370,7 +376,8 @@ class SourceSinkChecker:
                 return emitted
 
             searcher = self._make_searcher(index, sinks)
-            searcher.search(origin, on_node, alias_guard=alias_guard)
+            with self.tracer.span("enumerate", checker=self.kind, source=source_inst.label):
+                searcher.search(origin, on_node, alias_guard=alias_guard)
             self._note_search(origin, searcher)
         return reports
 
@@ -380,6 +387,7 @@ class SourceSinkChecker:
         index: Optional[SinkReachabilityIndex],
         sinks: Optional[Set[VFGNode]],
         emit,
+        span_parent=None,
     ) -> None:
         """Enumerate every source (possibly on a thread pool), calling
         ``emit(candidate)`` for each admitted (source, sink, path).
@@ -396,6 +404,12 @@ class SourceSinkChecker:
         Producers never build SMT terms (interning is not thread-safe):
         ``extra_constraints`` is deferred to the coordinator.
         """
+        # Producer threads have no ambient span stack: parent their
+        # enumerate spans explicitly under the checker (detect) span —
+        # streaming mode captures the context before forking producers.
+        enum_parent = (
+            span_parent if span_parent is not None else self.tracer.current_context()
+        )
 
         def enumerate_one(idx: int) -> None:
             origin, source_inst, alias_guard = source_list[idx]
@@ -416,7 +430,13 @@ class SourceSinkChecker:
                 return emitted
 
             searcher = self._make_searcher(index, sinks)
-            searcher.search(origin, on_node, alias_guard=alias_guard)
+            with self.tracer.span(
+                "enumerate",
+                parent=enum_parent,
+                checker=self.kind,
+                source=source_inst.label,
+            ):
+                searcher.search(origin, on_node, alias_guard=alias_guard)
             with self._enum_lock:
                 self._note_search(origin, searcher)
 
@@ -504,9 +524,14 @@ class SourceSinkChecker:
         def emit(candidate: _Candidate) -> None:
             fifo.put(candidate)
 
+        # Captured on the coordinator, where the detect span is ambient.
+        enum_ctx = self.tracer.current_context()
+
         def produce() -> None:
             try:
-                self._enumerate_candidates(source_list, index, sinks, emit)
+                self._enumerate_candidates(
+                    source_list, index, sinks, emit, span_parent=enum_ctx
+                )
             finally:
                 fifo.put(_DONE)
 

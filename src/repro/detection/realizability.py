@@ -49,6 +49,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..ir.instructions import Instruction
+from ..obs.metrics import Counter, MetricsRegistry
+from ..obs.tracer import NULL_TRACER, SpanContext, SpanRecorder, Tracer
 from ..smt.solver import SAT, UNKNOWN, UNSAT, Solver, solve_formula
 from ..smt.terms import TRUE, BoolTerm, and_
 from ..vfg.builder import VFGBundle
@@ -149,15 +151,39 @@ class VerdictCache:
         return self.hits / total if total else 0.0
 
 
-def _solve_payload(payload) -> Tuple[str, Dict[str, int], Dict[str, bool], float, str]:
-    """Module-level process-pool target (must be picklable by name)."""
+def _solve_payload(payload):
+    """Module-level process-pool target (must be picklable by name).
+
+    The payload is ``(formula, max_conflicts, use_cube, timeout)`` or —
+    when tracing is on — a 5-tuple whose last element is the submitting
+    span's :class:`~repro.obs.tracer.SpanContext` (or ``None``).  With a
+    5-tuple the return grows a sixth element: the worker's span records,
+    which ride back for :meth:`~repro.obs.tracer.Tracer.ingest` so a
+    query solved in another process still nests under its checker span.
+    """
     from ..testing.faults import fault_point
 
-    formula, max_conflicts, use_cube, timeout = payload
+    recorder = None
+    if len(payload) == 5:
+        formula, max_conflicts, use_cube, timeout, ctx = payload
+        recorder = SpanRecorder(ctx)
+    else:
+        formula, max_conflicts, use_cube, timeout = payload
     fault_point("worker:solve")  # pool-death injection site (workers only)
-    return solve_formula(
-        formula, max_conflicts=max_conflicts, use_cube=use_cube, timeout=timeout
-    )
+    if recorder is None:
+        return solve_formula(
+            formula, max_conflicts=max_conflicts, use_cube=use_cube, timeout=timeout
+        )
+    with recorder.span("solver.query", pooled=True) as span:
+        result = solve_formula(
+            formula,
+            max_conflicts=max_conflicts,
+            use_cube=use_cube,
+            timeout=timeout,
+            recorder=recorder,
+        )
+        span.set("verdict", result[0])
+    return result + (recorder.records,)
 
 
 class RealizabilityChecker:
@@ -175,6 +201,8 @@ class RealizabilityChecker:
         cache: Optional[VerdictCache] = None,
         solver_timeout: Optional[float] = None,
         budget=None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown solver backend {backend!r} (want one of {BACKENDS})")
@@ -194,20 +222,42 @@ class RealizabilityChecker:
         self.cache = cache
         self._stats_lock = threading.Lock()
         self._last_pool_error = ""
-        self.statistics = {
-            "queries": 0,
-            "sat": 0,
-            "unsat": 0,
-            "unknown": 0,
-            "unknown_conflicts": 0,
-            "unknown_deadline": 0,
-            "cache_hits": 0,
-            "cache_misses": 0,
-            "solve_seconds": 0.0,
-            "pool_failures": 0,
-            "pool_retries": 0,
-            "pool_local_solves": 0,
-        }
+        #: the single home of the solver counters; shared with the run's
+        #: AnalysisReport when the pipeline constructs the checker
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Pre-register the full legacy counter set in its historical
+        # order so the ``statistics`` view is shape-stable from birth.
+        self._counters: Dict[str, Counter] = {}
+        for key in (
+            "queries",
+            "sat",
+            "unsat",
+            "unknown",
+            "unknown_conflicts",
+            "unknown_deadline",
+            "cache_hits",
+            "cache_misses",
+        ):
+            self._counter(key)
+        self._counter("solve_seconds").add(0.0)  # promote to float
+        for key in ("pool_failures", "pool_retries", "pool_local_solves"):
+            self._counter(key)
+
+    def _counter(self, key: str) -> Counter:
+        """The ``solver.<key>`` counter (get-or-create, memoized).
+
+        All mutation happens under ``_stats_lock`` so multi-counter
+        updates in :meth:`_bump` stay atomic as a group."""
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = self.metrics.counter(f"solver.{key}")
+        return counter
+
+    @property
+    def statistics(self) -> Dict[str, int]:
+        """Legacy view: the ``solver.*`` registry counters, plain dict."""
+        return self.metrics.namespace("solver")
 
     def query_timeout(self) -> Optional[float]:
         """Per-query wall budget: ``solver_timeout`` clipped to the run
@@ -289,29 +339,27 @@ class RealizabilityChecker:
     ) -> None:
         """Merge one query's counters (thread-safe; exact under any pool)."""
         with self._stats_lock:
-            s = self.statistics
-            s["queries"] += 1
-            s[verdict] += 1
+            self._counter("queries").add(1)
+            self._counter(verdict).add(1)
             if verdict == UNKNOWN and reason:
-                key = f"unknown_{reason.replace('-', '_')}"
-                s[key] = s.get(key, 0) + 1
+                self._counter(f"unknown_{reason.replace('-', '_')}").add(1)
             if cache_hit is not None:
-                s["cache_hits" if cache_hit else "cache_misses"] += 1
-            s["solve_seconds"] += seconds
+                self._counter("cache_hits" if cache_hit else "cache_misses").add(1)
+            self._counter("solve_seconds").add(seconds)
         if self.cache is not None and cache_hit is not None:
             self.cache.record(cache_hit)
 
     def _note_pool_failure(self, context: str, exc: BaseException) -> None:
         """Record one worker/pool death — never swallowed silently."""
         with self._stats_lock:
-            self.statistics["pool_failures"] += 1
+            self._counter("pool_failures").add(1)
             self._last_pool_error = f"{type(exc).__name__}: {exc}" if str(exc) else type(exc).__name__
             if context:
                 self._last_pool_error += f" [{context}]"
 
     def _count(self, key: str, delta: int = 1) -> None:
         with self._stats_lock:
-            self.statistics[key] = self.statistics.get(key, 0) + delta
+            self._counter(key).add(delta)
 
     def degradation_summary(self) -> List[str]:
         """Human-readable degradation warnings for the analysis report:
@@ -332,6 +380,14 @@ class RealizabilityChecker:
                 " deadline (verdict unknown, candidate not reported)"
             )
         return out
+
+    def _absorb(self, data):
+        """Normalize a ``_solve_payload`` return: ingest any worker span
+        records (6-tuple form) and hand back the plain 5-tuple."""
+        if len(data) == 6:
+            self.tracer.ingest(data[5])
+            return data[:5]
+        return data
 
     def _materialize(
         self,
@@ -360,20 +416,41 @@ class RealizabilityChecker:
     def check(self, query: PathQuery) -> RealizabilityResult:
         return self.check_formula(self.formula_for(query))
 
-    def check_formula(self, formula: BoolTerm) -> RealizabilityResult:
-        """Decide one assembled Φ_all, consulting the verdict cache."""
+    def check_formula(
+        self, formula: BoolTerm, parent: Optional[SpanContext] = None
+    ) -> RealizabilityResult:
+        """Decide one assembled Φ_all, consulting the verdict cache.
+
+        ``parent`` overrides the span parent when the call runs on a
+        helper thread (check_many's thread pool) whose ambient span
+        stack is empty."""
+        tracer = self.tracer
         if self.cache is not None:
             entry = self.cache.peek(formula)
             if entry is not None:
                 verdict, ints, bools, reason = entry
+                with tracer.span(
+                    "solver.query", parent=parent, cached=True
+                ) as span:
+                    span.set("verdict", verdict)
                 self._bump(verdict, cache_hit=True, seconds=0.0, reason=reason)
                 return self._materialize(formula, verdict, ints, bools, reason)
-        verdict, ints, bools, seconds, reason = solve_formula(
-            formula,
-            max_conflicts=self.solver_max_conflicts,
-            use_cube=self.use_cube_and_conquer,
-            timeout=self.query_timeout(),
-        )
+        recorder = None
+        with tracer.span("solver.query", parent=parent, cached=False) as span:
+            if tracer.enabled:
+                recorder = tracer.recorder(span.context())
+            verdict, ints, bools, seconds, reason = solve_formula(
+                formula,
+                max_conflicts=self.solver_max_conflicts,
+                use_cube=self.use_cube_and_conquer,
+                timeout=self.query_timeout(),
+                recorder=recorder,
+            )
+            span.set("verdict", verdict)
+            if reason:
+                span.set("unknown_reason", reason)
+        if recorder is not None:
+            tracer.ingest(recorder.records)
         if self.cache is not None:
             self.cache.store(formula, (verdict, ints, bools, reason))
             self._bump(verdict, cache_hit=False, seconds=seconds, reason=reason)
@@ -409,8 +486,11 @@ class RealizabilityChecker:
                 # e.g. sandboxed fork or a dead worker (BrokenProcessPool is
                 # a RuntimeError) — record it, degrade to the thread pool.
                 self._note_pool_failure("batch", exc)
+        # Pool threads have no ambient span stack: parent their query
+        # spans explicitly under this (submitting) thread's open span.
+        ctx = self.tracer.current_context()
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(self.check_formula, formulas))
+            return list(pool.map(lambda f: self.check_formula(f, parent=ctx), formulas))
 
     def open_stream(
         self,
@@ -447,15 +527,20 @@ class RealizabilityChecker:
         solved = []
         if unique:
             timeout = self.query_timeout()
-            payloads = [
-                (f, self.solver_max_conflicts, self.use_cube_and_conquer, timeout)
-                for f in unique
-            ]
+            base = (self.solver_max_conflicts, self.use_cube_and_conquer, timeout)
+            if self.tracer.enabled:
+                ctx = self.tracer.current_context()
+                payloads = [(f,) + base + (ctx,) for f in unique]
+            else:
+                payloads = [(f,) + base for f in unique]
             chunksize = max(1, len(payloads) // (4 * max_workers))
             # Raising here (before any statistics commit) lets check_many
             # fall back to the thread pool with exact counters.
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                solved = list(pool.map(_solve_payload, payloads, chunksize=chunksize))
+                solved = [
+                    self._absorb(data)
+                    for data in pool.map(_solve_payload, payloads, chunksize=chunksize)
+                ]
         for i, formula, (verdict, ints, bools, reason) in cached:
             self._bump(verdict, cache_hit=True, seconds=0.0, reason=reason)
             results[i] = self._materialize(formula, verdict, ints, bools, reason)
@@ -552,6 +637,20 @@ class StreamingSolver:
         formula = self.checker.formula_for(query)
         return self.submit_formula(formula)
 
+    def _payload(self, formula: BoolTerm):
+        """One worker payload; tracing appends the submitting thread's
+        span context so worker spans nest under the checker span."""
+        checker = self.checker
+        base = (
+            formula,
+            checker.solver_max_conflicts,
+            checker.use_cube_and_conquer,
+            checker.query_timeout(),
+        )
+        if checker.tracer.enabled:
+            return base + (checker.tracer.current_context(),)
+        return base
+
     def submit_formula(self, formula: BoolTerm) -> int:
         cache = self.checker.cache
         entry = cache.peek(formula) if cache is not None else None
@@ -564,12 +663,7 @@ class StreamingSolver:
         pool = self._ensure_pool()
         future: Optional[Future] = None
         if pool is not None:
-            payload = (
-                formula,
-                self.checker.solver_max_conflicts,
-                self.checker.use_cube_and_conquer,
-                self.checker.query_timeout(),
-            )
+            payload = self._payload(formula)
             self._sem.acquire()  # backpressure: bounded in-flight window
             try:
                 future = pool.submit(_solve_payload, payload)
@@ -600,15 +694,10 @@ class StreamingSolver:
         backoff.  After ``max_retries`` failed attempts the caller falls
         back to solving in-process (returns ``None``)."""
         checker = self.checker
-        payload = (
-            formula,
-            checker.solver_max_conflicts,
-            checker.use_cube_and_conquer,
-            checker.query_timeout(),
-        )
+        payload = self._payload(formula)
         for attempt in range(self.max_retries + 1):
             try:
-                return future.result()
+                return checker._absorb(future.result())
             except Exception as exc:
                 checker._note_pool_failure("stream", exc)
                 if attempt >= self.max_retries:
@@ -660,12 +749,21 @@ class StreamingSolver:
                         # the stream still completes.
                         if future is not None:
                             checker._count("pool_local_solves")
-                        data = solve_formula(
-                            formula,
-                            max_conflicts=checker.solver_max_conflicts,
-                            use_cube=checker.use_cube_and_conquer,
-                            timeout=checker.query_timeout(),
-                        )
+                        tracer = checker.tracer
+                        recorder = None
+                        with tracer.span("solver.query", cached=False, local=True) as qspan:
+                            if tracer.enabled:
+                                recorder = tracer.recorder(qspan.context())
+                            data = solve_formula(
+                                formula,
+                                max_conflicts=checker.solver_max_conflicts,
+                                use_cube=checker.use_cube_and_conquer,
+                                timeout=checker.query_timeout(),
+                                recorder=recorder,
+                            )
+                            qspan.set("verdict", data[0])
+                        if recorder is not None:
+                            tracer.ingest(recorder.records)
                     solved[formula] = data
                     if cache is not None:
                         verdict, ints, bools, _seconds, reason = data

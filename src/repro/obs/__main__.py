@@ -1,0 +1,54 @@
+"""``python -m repro.obs validate`` — the CI trace-schema gate.
+
+Validates exported observability artifacts against the documented
+schemas and exits non-zero (with the offending file and reason) on the
+first mismatch::
+
+    python -m repro.obs validate --trace out.ndjson \\
+        --chrome out.chrome.json --metrics metrics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .schema import (
+    SchemaError,
+    validate_chrome_trace_file,
+    validate_metrics_file,
+    validate_trace_file,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.obs")
+    sub = parser.add_subparsers(dest="command", required=True)
+    val = sub.add_parser("validate", help="validate exported artifacts")
+    val.add_argument("--trace", action="append", default=[], metavar="FILE")
+    val.add_argument("--chrome", action="append", default=[], metavar="FILE")
+    val.add_argument("--metrics", action="append", default=[], metavar="FILE")
+    args = parser.parse_args(argv)
+
+    targets = (
+        [("trace", p, validate_trace_file) for p in args.trace]
+        + [("chrome", p, validate_chrome_trace_file) for p in args.chrome]
+        + [("metrics", p, validate_metrics_file) for p in args.metrics]
+    )
+    if not targets:
+        parser.error("nothing to validate (pass --trace/--chrome/--metrics)")
+    for kind, path, validate in targets:
+        try:
+            count = validate(path)
+        except FileNotFoundError:
+            print(f"FAIL {kind} {path}: file not found", file=sys.stderr)
+            return 2
+        except SchemaError as exc:
+            print(f"FAIL {kind} {path}: {exc}", file=sys.stderr)
+            return 1
+        print(f"ok {kind} {path}: {count} record(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""Schema validation for the exported observability artifacts.
+
+Hand-rolled (the toolchain has no ``jsonschema``), but strict: every
+check here is documented in ``docs/architecture.md`` §12, CI runs them
+against a real corpus export, and ``tests/test_observability.py``
+exercises both the accepting and the rejecting paths.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, List
+
+__all__ = [
+    "SchemaError",
+    "validate_chrome_trace_file",
+    "validate_metrics_doc",
+    "validate_metrics_file",
+    "validate_span",
+    "validate_trace_file",
+]
+
+
+class SchemaError(ValueError):
+    """An exported artifact does not match the documented schema."""
+
+
+_SPAN_REQUIRED = {
+    "name": str,
+    "trace_id": str,
+    "span_id": str,
+    "start": (int, float),
+    "attrs": dict,
+    "pid": int,
+    "tid": int,
+}
+
+_META_REQUIRED = {"schema", "git_sha", "python", "platform", "timestamp"}
+
+
+def _fail(msg: str) -> None:
+    raise SchemaError(msg)
+
+
+def validate_span(obj: Dict[str, Any], where: str = "span") -> None:
+    if not isinstance(obj, dict):
+        _fail(f"{where}: expected an object, got {type(obj).__name__}")
+    for key, types in _SPAN_REQUIRED.items():
+        if key not in obj:
+            _fail(f"{where}: missing required key {key!r}")
+        if not isinstance(obj[key], types):
+            _fail(f"{where}: key {key!r} has type {type(obj[key]).__name__}")
+    parent = obj.get("parent_id")
+    if parent is not None and not isinstance(parent, str):
+        _fail(f"{where}: parent_id must be a string or null")
+    end = obj.get("end")
+    if end is not None:
+        if not isinstance(end, (int, float)):
+            _fail(f"{where}: end must be a number or null")
+        if end < obj["start"]:
+            _fail(f"{where}: end precedes start")
+    for akey, avalue in obj["attrs"].items():
+        if not isinstance(akey, str):
+            _fail(f"{where}: attr keys must be strings")
+        if not isinstance(avalue, (str, int, float, bool, type(None))):
+            _fail(f"{where}: attr {akey!r} must be a JSON scalar")
+
+
+def _validate_meta(meta: Any, where: str) -> None:
+    if not isinstance(meta, dict):
+        _fail(f"{where}: meta must be an object")
+    missing = _META_REQUIRED - set(meta)
+    if missing:
+        _fail(f"{where}: meta missing {sorted(missing)}")
+
+
+def validate_trace_file(path) -> int:
+    """Validate an NDJSON span file; returns the number of spans.
+
+    Structural checks beyond per-span shape: span ids are unique, and
+    every non-null parent_id refers to a span in the same file (the
+    nesting invariant the Chrome exporter relies on).
+    """
+    lines = pathlib.Path(path).read_text().splitlines()
+    spans: List[Dict[str, Any]] = []
+    saw_meta = False
+    for i, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            _fail(f"line {i}: not valid JSON ({exc})")
+        if "span_id" not in obj and "meta" in obj:
+            _validate_meta(obj["meta"], f"line {i}")
+            saw_meta = True
+            continue
+        validate_span(obj, where=f"line {i}")
+        spans.append(obj)
+    if not saw_meta:
+        _fail("trace file has no meta record")
+    ids = [s["span_id"] for s in spans]
+    if len(ids) != len(set(ids)):
+        _fail("duplicate span ids")
+    known = set(ids)
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent not in known:
+            _fail(f"span {span['span_id']} has dangling parent {parent!r}")
+    return len(spans)
+
+
+def validate_chrome_trace_file(path) -> int:
+    """Validate a Chrome trace-event file; returns the event count."""
+    try:
+        doc = json.loads(pathlib.Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        _fail(f"not valid JSON ({exc})")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        _fail("missing traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        _fail("traceEvents must be an array")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            _fail(f"{where}: expected an object")
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                _fail(f"{where}: missing {key!r}")
+        if ev["ph"] == "X" and "dur" not in ev:
+            _fail(f"{where}: complete event without dur")
+        if not isinstance(ev["ts"], (int, float)):
+            _fail(f"{where}: ts must be a number")
+    if "otherData" in doc:
+        _validate_meta(doc["otherData"], "otherData")
+    return len(events)
+
+
+def validate_metrics_doc(doc: Dict[str, Any], where: str = "metrics") -> int:
+    """Validate an in-memory metrics document; returns the metric count."""
+    if not isinstance(doc, dict):
+        _fail(f"{where}: expected an object")
+    if "meta" not in doc:
+        _fail(f"{where}: missing meta block")
+    _validate_meta(doc["meta"], where)
+    if "metrics" not in doc and "files" not in doc:
+        _fail(f"{where}: needs a 'metrics' or 'files' section")
+    count = 0
+
+    def check_flat(flat: Any, fwhere: str) -> int:
+        if not isinstance(flat, dict):
+            _fail(f"{fwhere}: must be an object")
+        n = 0
+        for key, value in flat.items():
+            if not isinstance(key, str):
+                _fail(f"{fwhere}: metric names must be strings")
+            if isinstance(value, list):  # a series: rows of scalars
+                for row in value:
+                    if not isinstance(row, dict):
+                        _fail(f"{fwhere}: series {key!r} rows must be objects")
+            elif not isinstance(value, (int, float, bool)):
+                _fail(f"{fwhere}: metric {key!r} must be numeric")
+            n += 1
+        return n
+
+    if "metrics" in doc:
+        count += check_flat(doc["metrics"], f"{where}.metrics")
+    for fname, flat in doc.get("files", {}).items():
+        count += check_flat(flat, f"{where}.files[{fname!r}]")
+    return count
+
+
+def validate_metrics_file(path) -> int:
+    try:
+        doc = json.loads(pathlib.Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        _fail(f"not valid JSON ({exc})")
+    return validate_metrics_doc(doc, where=str(path))

@@ -10,6 +10,7 @@ paths in parallel, see :mod:`repro.detection.realizability`).
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
@@ -64,6 +65,7 @@ def cube_solve_model(
     solver_factory: Optional[Callable[[], Solver]] = None,
     max_conflicts: Optional[int] = None,
     timeout: Optional[float] = None,
+    recorder=None,
 ) -> Tuple[Result, Optional[Model], str]:
     """Decide ``term`` by splitting into cubes solved in parallel.
 
@@ -83,6 +85,11 @@ def cube_solve_model(
     the per-cube wall budget in seconds; both are ignored when an
     explicit ``solver_factory`` is supplied (the factory then owns the
     budgets).
+
+    ``recorder`` is an optional :class:`~repro.obs.tracer.SpanRecorder`:
+    each decided cube is recorded as a ``solver.cube`` span with the
+    helper thread's timing (recorded from the coordinating thread —
+    cube workers never touch the recorder, which is single-threaded).
     """
     if solver_factory is None:
         solver_factory = lambda: Solver(max_conflicts=max_conflicts, timeout=timeout)
@@ -93,16 +100,25 @@ def cube_solve_model(
         solver.add(term)
         return solver.check(), solver.model(), solver.unknown_reason or ""
 
-    def solve_cube(cube: List[BoolTerm]) -> Tuple[Result, Optional[Model], str]:
+    def solve_cube(indexed) -> Tuple[int, Result, Optional[Model], str, float, float]:
+        index, cube = indexed
+        t0 = time.time()
         solver = solver_factory()
         solver.add(term, *cube)
-        return solver.check(), solver.model(), solver.unknown_reason or ""
+        result = solver.check()
+        return index, result, solver.model(), solver.unknown_reason or "", t0, time.time()
 
     results: List[Result] = []
     unknown_reason = ""
     cubes = list(_cubes(list(split_atoms)))
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        for result, model, reason in pool.map(solve_cube, cubes):
+        for index, result, model, reason, t0, t1 in pool.map(
+            solve_cube, enumerate(cubes)
+        ):
+            if recorder is not None:
+                recorder.record_span(
+                    "solver.cube", t0, t1, index=index, verdict=result
+                )
             if result is SAT:
                 return SAT, model, ""
             if result is UNKNOWN and not unknown_reason:

@@ -301,6 +301,7 @@ def solve_formula(
     max_conflicts: Optional[int] = None,
     use_cube: bool = False,
     timeout: Optional[float] = None,
+    recorder=None,
 ) -> Tuple[Result, Dict[str, int], Dict[str, bool], float, str]:
     """Decide one formula and return only plain picklable data.
 
@@ -313,9 +314,15 @@ def solve_formula(
     seconds (relative, so it is meaningful in any worker process); an
     exhausted budget yields ``UNKNOWN`` with ``unknown_reason`` set
     (``''`` on decided verdicts).
+
+    ``recorder`` is an optional :class:`~repro.obs.tracer.SpanRecorder`;
+    when given, the solve is wrapped in a ``solver.solve`` span carrying
+    the verdict and the solver's own counters (theory rounds, SAT
+    conflicts).  Works identically in-process and in pool workers.
     """
     from ..testing.faults import fault_point
 
+    span = recorder.span("solver.solve", cube=use_cube) if recorder is not None else None
     t0 = time.perf_counter()
     t0_mono = time.monotonic()
     fault_point("solver:solve")
@@ -328,7 +335,7 @@ def solve_formula(
         from .portfolio import cube_solve_model
 
         verdict, model, reason = cube_solve_model(
-            formula, max_conflicts=max_conflicts, timeout=timeout
+            formula, max_conflicts=max_conflicts, timeout=timeout, recorder=recorder
         )
     else:
         solver = Solver(max_conflicts=max_conflicts, timeout=timeout)
@@ -336,6 +343,9 @@ def solve_formula(
         verdict = solver.check()
         model = solver.model()
         reason = solver.unknown_reason or ""
+        if span is not None:
+            for key, value in solver.statistics.items():
+                span.set(key, value)
     ints: Dict[str, int] = {}
     bools: Dict[str, bool] = {}
     if verdict is SAT and model is not None:
@@ -345,4 +355,9 @@ def solve_formula(
                 bools[atom.name] = truth
     if verdict is not UNKNOWN:
         reason = ""
+    if span is not None:
+        span.set("verdict", verdict)
+        if reason:
+            span.set("unknown_reason", reason)
+        span.__exit__(None, None, None)
     return verdict, ints, bools, time.perf_counter() - t0, reason

@@ -144,9 +144,15 @@ class DataDependenceAnalysis:
         tcg: ThreadCallGraph,
         max_content_entries: int = 16,
         prune_guards: bool = True,
+        tracer=None,
     ) -> None:
+        from ..obs.tracer import NULL_TRACER
+
         self.module = module
         self.tcg = tcg
+        #: optional repro.obs Tracer: each live function analysis becomes
+        #: a ``dataflow:<fn>`` span (cached replays are not spanned)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.vfg = ValueFlowGraph()
         self.max_content_entries = max_content_entries
         self.prune_guards = prune_guards
@@ -208,7 +214,8 @@ class DataDependenceAnalysis:
                 prefix_clean = False
                 if journal is not None:
                     self._journal = FunctionJournal(name=name, func=func)
-                self._analyze_function(func)
+                with self.tracer.span(f"dataflow:{name}"):
+                    self._analyze_function(func)
                 if self._journal is not None:
                     self._journal.summary = self.summaries[name]
                     new_functions[name] = self._journal

@@ -68,7 +68,7 @@ class TestAsciiChart:
 class TestWriteArtifacts:
     def test_files_written(self, runs, tmp_path):
         paths = write_artifacts(runs, tmp_path)
-        assert len(paths) == 4
+        assert len(paths) == 5  # 3 CSVs + ASCII chart + meta.json provenance
         for p in paths:
             content = open(p).read()
             assert content.strip()
