@@ -81,6 +81,13 @@ def main(argv=None) -> int:
         " (reference enumeration, for debugging and ablation)",
     )
     parser.add_argument(
+        "--no-incremental-smt",
+        action="store_true",
+        help="solve every path query one-shot instead of through the warm"
+        " per-sink incremental solvers (debugging and ablation; bug"
+        " reports are identical either way)",
+    )
+    parser.add_argument(
         "--timeout",
         type=float,
         default=None,
@@ -164,6 +171,7 @@ def main(argv=None) -> int:
         solver_workers=args.workers,
         solver_backend=args.backend,
         cube_and_conquer=args.cube,
+        incremental_smt=not args.no_incremental_smt,
         max_path_depth=args.max_depth
         if args.max_depth is not None
         else defaults.max_path_depth,

@@ -65,6 +65,10 @@ class AnalysisConfig:
     verdict_cache: bool = True
     #: use cube-and-conquer splitting for path queries (paper §5.2)
     cube_and_conquer: bool = False
+    #: route sibling path queries through warm per-sink incremental SMT
+    #: solvers (assumption-based, ship-once/assume-many); exact w.r.t.
+    #: reported bug keys, ignored under cube_and_conquer
+    incremental_smt: bool = True
     #: ablation: apply the semi-decision guard filter during construction
     prune_guards: bool = True
     #: ablation: prune non-MHP store/load pairs before Alg. 2 (paper §6)

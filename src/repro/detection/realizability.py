@@ -154,25 +154,36 @@ class VerdictCache:
 def _solve_payload(payload):
     """Module-level process-pool target (must be picklable by name).
 
-    The payload is ``(formula, max_conflicts, use_cube, timeout)`` or —
-    when tracing is on — a 5-tuple whose last element is the submitting
-    span's :class:`~repro.obs.tracer.SpanContext` (or ``None``).  With a
-    5-tuple the return grows a sixth element: the worker's span records,
-    which ride back for :meth:`~repro.obs.tracer.Tracer.ingest` so a
-    query solved in another process still nests under its checker span.
+    The payload is ``(formula, max_conflicts, use_cube, timeout, family)``
+    or — when tracing is on — a 6-tuple whose last element is the
+    submitting span's :class:`~repro.obs.tracer.SpanContext` (or
+    ``None``).  With a 6-tuple the return grows a sixth element: the
+    worker's span records, which ride back for
+    :meth:`~repro.obs.tracer.Tracer.ingest` so a query solved in another
+    process still nests under its checker span.
+
+    ``family`` (a string or ``None``) keys the worker's warm
+    per-sink-family :class:`~repro.smt.solver.IncrementalSolver`; pool
+    workers live for the whole stream, so sibling queries landing on the
+    same worker reuse its CNF encoding, learnt clauses, and theory
+    lemmas.
     """
     from ..testing.faults import fault_point
 
     recorder = None
-    if len(payload) == 5:
-        formula, max_conflicts, use_cube, timeout, ctx = payload
+    if len(payload) == 6:
+        formula, max_conflicts, use_cube, timeout, family, ctx = payload
         recorder = SpanRecorder(ctx)
     else:
-        formula, max_conflicts, use_cube, timeout = payload
+        formula, max_conflicts, use_cube, timeout, family = payload
     fault_point("worker:solve")  # pool-death injection site (workers only)
     if recorder is None:
         return solve_formula(
-            formula, max_conflicts=max_conflicts, use_cube=use_cube, timeout=timeout
+            formula,
+            max_conflicts=max_conflicts,
+            use_cube=use_cube,
+            timeout=timeout,
+            family=family,
         )
     with recorder.span("solver.query", pooled=True) as span:
         result = solve_formula(
@@ -181,6 +192,7 @@ def _solve_payload(payload):
             use_cube=use_cube,
             timeout=timeout,
             recorder=recorder,
+            family=family,
         )
         span.set("verdict", result[0])
     return result + (recorder.records,)
@@ -203,6 +215,7 @@ class RealizabilityChecker:
         budget=None,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        incremental_smt: bool = True,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown solver backend {backend!r} (want one of {BACKENDS})")
@@ -211,6 +224,9 @@ class RealizabilityChecker:
             bundle, lock_analysis=lock_analysis, memory_model=memory_model
         )
         self.use_cube_and_conquer = use_cube_and_conquer
+        #: route queries through warm per-sink-family incremental solvers
+        #: (assumption-based; disabled automatically under cube-and-conquer)
+        self.incremental_smt = incremental_smt and not use_cube_and_conquer
         self.solver_max_conflicts = solver_max_conflicts
         self.solver_timeout = solver_timeout
         #: optional repro.analysis.budget.Budget — clips per-query
@@ -413,11 +429,23 @@ class RealizabilityChecker:
                 witness_env["ints"][name] = value
         return RealizabilityResult(True, SAT, formula, witness, witness_env)
 
+    def family_for(self, query: PathQuery) -> Optional[str]:
+        """The query's path-family key — sibling paths enumerated from one
+        sink share guard prefixes and Φ_po skeletons, so the sink labels
+        the warm incremental solver they should all hit.  ``None`` means
+        solve one-shot (incremental solving off, or no sink to key by)."""
+        if not self.incremental_smt or query.sink_inst is None:
+            return None
+        return f"sink:{query.sink_inst.label}"
+
     def check(self, query: PathQuery) -> RealizabilityResult:
-        return self.check_formula(self.formula_for(query))
+        return self.check_formula(self.formula_for(query), family=self.family_for(query))
 
     def check_formula(
-        self, formula: BoolTerm, parent: Optional[SpanContext] = None
+        self,
+        formula: BoolTerm,
+        parent: Optional[SpanContext] = None,
+        family: Optional[str] = None,
     ) -> RealizabilityResult:
         """Decide one assembled Φ_all, consulting the verdict cache.
 
@@ -445,6 +473,7 @@ class RealizabilityChecker:
                 use_cube=self.use_cube_and_conquer,
                 timeout=self.query_timeout(),
                 recorder=recorder,
+                family=family,
             )
             span.set("verdict", verdict)
             if reason:
@@ -479,9 +508,10 @@ class RealizabilityChecker:
         # Formula assembly touches the VFG bundle and order builder, so it
         # stays in the parent; only pure terms cross the pool boundary.
         formulas = [self.formula_for(q) for q in queries]
+        families = [self.family_for(q) for q in queries]
         if backend == "process":
             try:
-                return self._check_formulas_process(formulas, max_workers)
+                return self._check_formulas_process(formulas, max_workers, families)
             except (OSError, RuntimeError, ImportError) as exc:
                 # e.g. sandboxed fork or a dead worker (BrokenProcessPool is
                 # a RuntimeError) — record it, degrade to the thread pool.
@@ -490,7 +520,12 @@ class RealizabilityChecker:
         # spans explicitly under this (submitting) thread's open span.
         ctx = self.tracer.current_context()
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(lambda f: self.check_formula(f, parent=ctx), formulas))
+            return list(
+                pool.map(
+                    lambda pair: self.check_formula(pair[0], parent=ctx, family=pair[1]),
+                    zip(formulas, families),
+                )
+            )
 
     def open_stream(
         self,
@@ -509,12 +544,16 @@ class RealizabilityChecker:
         )
 
     def _check_formulas_process(
-        self, formulas: Sequence[BoolTerm], max_workers: int
+        self,
+        formulas: Sequence[BoolTerm],
+        max_workers: int,
+        families: Optional[Sequence[Optional[str]]] = None,
     ) -> List[RealizabilityResult]:
         cache = self.cache
         results: List[Optional[RealizabilityResult]] = [None] * len(formulas)
         cached: List[Tuple[int, BoolTerm, _CacheEntry]] = []
         todo: Dict[BoolTerm, List[int]] = {}
+        family_of: Dict[BoolTerm, Optional[str]] = {}
         for i, formula in enumerate(formulas):
             entry = cache.peek(formula) if cache is not None else None
             if entry is not None:
@@ -523,6 +562,8 @@ class RealizabilityChecker:
                 # Duplicate formulas are solved once (interning makes the
                 # dict collapse them) and fanned back out below.
                 todo.setdefault(formula, []).append(i)
+                if families is not None and formula not in family_of:
+                    family_of[formula] = families[i]
         unique = list(todo)
         solved = []
         if unique:
@@ -530,9 +571,11 @@ class RealizabilityChecker:
             base = (self.solver_max_conflicts, self.use_cube_and_conquer, timeout)
             if self.tracer.enabled:
                 ctx = self.tracer.current_context()
-                payloads = [(f,) + base + (ctx,) for f in unique]
+                payloads = [
+                    (f,) + base + (family_of.get(f), ctx) for f in unique
+                ]
             else:
-                payloads = [(f,) + base for f in unique]
+                payloads = [(f,) + base + (family_of.get(f),) for f in unique]
             chunksize = max(1, len(payloads) // (4 * max_workers))
             # Raising here (before any statistics commit) lets check_many
             # fall back to the thread pool with exact counters.
@@ -611,6 +654,8 @@ class StreamingSolver:
         #: per submission: (formula, disposition, cached-entry-or-None)
         self._entries: List[Tuple[BoolTerm, str, Optional[_CacheEntry]]] = []
         self._futures: Dict[BoolTerm, Future] = {}
+        #: path-family key per unique formula (first submission wins)
+        self._families: Dict[BoolTerm, Optional[str]] = {}
         self._finished = False
 
     # ----- producing ---------------------------------------------------------
@@ -635,7 +680,7 @@ class StreamingSolver:
         if self._finished:
             raise RuntimeError("stream already finished")
         formula = self.checker.formula_for(query)
-        return self.submit_formula(formula)
+        return self.submit_formula(formula, family=self.checker.family_for(query))
 
     def _payload(self, formula: BoolTerm):
         """One worker payload; tracing appends the submitting thread's
@@ -646,12 +691,13 @@ class StreamingSolver:
             checker.solver_max_conflicts,
             checker.use_cube_and_conquer,
             checker.query_timeout(),
+            self._families.get(formula),
         )
         if checker.tracer.enabled:
             return base + (checker.tracer.current_context(),)
         return base
 
-    def submit_formula(self, formula: BoolTerm) -> int:
+    def submit_formula(self, formula: BoolTerm, family: Optional[str] = None) -> int:
         cache = self.checker.cache
         entry = cache.peek(formula) if cache is not None else None
         if entry is not None:
@@ -660,6 +706,8 @@ class StreamingSolver:
         if formula in self._futures:
             self._entries.append((formula, "dup", None))
             return len(self._entries) - 1
+        if family is not None:
+            self._families.setdefault(formula, family)
         pool = self._ensure_pool()
         future: Optional[Future] = None
         if pool is not None:
@@ -760,6 +808,7 @@ class StreamingSolver:
                                 use_cube=checker.use_cube_and_conquer,
                                 timeout=checker.query_timeout(),
                                 recorder=recorder,
+                                family=self._families.get(formula),
                             )
                             qspan.set("verdict", data[0])
                         if recorder is not None:

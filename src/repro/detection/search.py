@@ -279,11 +279,18 @@ class PathSearcher:
         clean = True
         saw_sink = False
         sink_nodes = self.sink_nodes
+        # hoisted out of the per-edge loop: this is the enumeration hot
+        # path (one iteration per VFG edge visited)
+        stats = self.stats
+        limits = self.limits
+        max_visits = limits.max_visits
+        max_paths = limits.max_paths_per_source
+        reach_index = self.reach_index
         for edge in out_edges:
-            if self.visits >= self.limits.max_visits:
+            if self.visits >= max_visits:
                 self._truncate("max_visits")
                 return False, saw_sink
-            if self.paths_emitted >= self.limits.max_paths_per_source:
+            if self.paths_emitted >= max_paths:
                 self._truncate("max_paths_per_source")
                 return False, saw_sink
             dst = edge.dst
@@ -296,25 +303,30 @@ class PathSearcher:
             if new_context is None:
                 continue
             new_avail = self._step_avail(edge, avail)
-            if self.reach_index is not None and not self.reach_index.can_enter(
+            if reach_index is not None and not reach_index.can_enter(
                 dst, new_avail
             ):
-                self.stats.pruned_unreachable += 1
+                stats.pruned_unreachable += 1
                 continue
             pushed = False
             if prefix is not None and edge.guard is not TRUE:
+                # The prefix grows/shrinks in strict DFS (stack) order —
+                # the same discipline the incremental SMT layer uses for
+                # its assumption scopes, so sibling paths diverging late
+                # share both their quick-check state here and their
+                # warm-solver clauses downstream.
                 pushed = True
                 if prefix.push(edge.guard):
                     # Prefix definitely unsat ⇒ every completed path
                     # through this edge has an unsat Φ_guards ⇒ the
                     # solver would refute all of them anyway.
-                    self.stats.pruned_guard += 1
+                    stats.pruned_guard += 1
                     prefix.pop()
                     continue
             if memo is not None:
                 state = (dst, new_context, prefix.fingerprint() if prefix else None)
                 if state in memo:
-                    self.stats.memo_hits += 1
+                    stats.memo_hits += 1
                     if pushed:
                         prefix.pop()
                     continue
@@ -323,7 +335,7 @@ class PathSearcher:
             on_path_nodes.add(dst)
             emitted = on_node(dst, path) or 0
             self.paths_emitted += emitted
-            self.stats.candidates += emitted
+            stats.candidates += emitted
             child_clean, child_sink = self._dfs(
                 dst, path, on_path_nodes, new_context, new_avail, prefix, memo, on_node
             )
