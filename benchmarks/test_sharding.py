@@ -1,0 +1,122 @@
+"""Benchmark for the per-function summary layer: serial (summaries off,
+the whole-VFG fixpoint) vs the sharded summary path at 2/4/8 workers on
+the scaled generator subject (hundreds of functions, one thread per
+group, mixed escape patterns).
+
+The measured quantity is the wall time of the phases the summary layer
+rewrites — ``summaries`` + ``interference`` + every ``detect:*`` pass —
+not end-to-end wall clock: parse/lower/pointer/dataflow are identical in
+every variant and would only dilute the signal.  On a single-core CI
+host the win is dominated by the algorithmic change (site-indexed
+candidate lookup and demand-loaded shards instead of per-object
+whole-list scans), so the speedup must hold at *every* worker count.
+
+Exactness is hard-asserted: identical bug keys across serial and every
+worker count/backend.  Results land in ``BENCH_sharding.json`` under the
+CI regression gate.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+from repro import AnalysisConfig, Canary
+from repro.bench import write_bench_results
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "tests"))
+from fuzz_gen import scaled_program  # noqa: E402
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "BENCH_sharding.json"
+
+SUBJECT = scaled_program(n_groups=120, helpers_per_group=2)
+
+_results: dict = {}
+
+
+def _record(name: str, **data) -> None:
+    _results[name] = data
+    write_bench_results(RESULTS, _results, suite="sharding")
+
+
+def _phase_seconds(report) -> float:
+    total = 0.0
+    for row in report.pass_statistics:
+        name = row["name"]
+        if name in ("summaries", "interference") or name.startswith("detect:"):
+            total += row["seconds"]
+    return total
+
+
+def _run(**overrides):
+    overrides.setdefault("use_cache", False)
+    t0 = time.perf_counter()
+    report = Canary(AnalysisConfig(**overrides)).analyze_source(SUBJECT)
+    wall = time.perf_counter() - t0
+    return report, wall
+
+
+def _keys(report):
+    return sorted(b.key for b in report.bugs)
+
+
+def test_sharded_summaries_vs_serial():
+    serial, serial_wall = _run(summaries=False)
+    serial_phases = _phase_seconds(serial)
+    assert len(_keys(serial)) == 2  # the generator's deterministic bugs
+
+    variants = {}
+    for workers in (2, 4, 8):
+        report, wall = _run(summary_workers=workers, solver_backend="process")
+        assert _keys(report) == _keys(serial), f"{workers} workers diverged"
+        assert report.vfg_summary == serial.vfg_summary
+        variants[workers] = (report, wall, _phase_seconds(report))
+
+    report8, _wall8, phases8 = variants[8]
+    speedup = serial_phases / max(phases8, 1e-9)
+    # The acceptance bar: the rewritten phases must be at least 3x
+    # faster than the whole-VFG path on the scaled subject.
+    assert speedup >= 3.0, (
+        f"summaries+interference+detection speedup {speedup:.2f}x"
+        f" ({serial_phases:.3f}s -> {phases8:.3f}s)"
+    )
+    view_stats = report8.bundle.summary_index.view.statistics()
+    _record(
+        "sharding_scaled",
+        functions=len(report8.bundle.summary_index.summaries),
+        bug_keys=len(_keys(serial)),
+        escaped_objects=serial.vfg_summary["escaped_objects"],
+        interference_edges=serial.vfg_summary["interference_edges"],
+        shards_total=view_stats["shards_total"],
+        serial_phase_s=round(serial_phases, 4),
+        workers2_phase_s=round(variants[2][2], 4),
+        workers4_phase_s=round(variants[4][2], 4),
+        workers8_phase_s=round(phases8, 4),
+        serial_wall_s=round(serial_wall, 4),
+        workers8_wall_s=round(variants[8][1], 4),
+        speedup=round(speedup, 2),
+    )
+
+
+def test_worker_scaling_overhead_bounded():
+    """Sharding must not cost more than it saves at any worker count:
+    every variant's phase time stays below the serial baseline."""
+    serial, _ = _run(summaries=False)
+    serial_phases = _phase_seconds(serial)
+    rows = {}
+    for workers, backend in ((1, "process"), (8, "thread")):
+        report, _wall = _run(summary_workers=workers, solver_backend=backend)
+        assert _keys(report) == _keys(serial)
+        phases = _phase_seconds(report)
+        assert phases <= serial_phases, (
+            f"{workers} workers ({backend}): {phases:.3f}s"
+            f" vs serial {serial_phases:.3f}s"
+        )
+        rows[f"{backend}{workers}_phase_s"] = round(phases, 4)
+    _record(
+        "sharding_overhead",
+        serial_phase_s=round(serial_phases, 4),
+        **rows,
+    )

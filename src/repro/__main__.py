@@ -88,6 +88,21 @@ def main(argv=None) -> int:
         " reports are identical either way)",
     )
     parser.add_argument(
+        "--summary-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shards for per-function summary computation (1 = serial;"
+        " >1 uses the --backend pool with automatic fallback)",
+    )
+    parser.add_argument(
+        "--no-summaries",
+        action="store_true",
+        help="run interference/detection over the whole VFG instead of"
+        " the per-function summary layer (debugging and ablation; bug"
+        " reports are identical either way)",
+    )
+    parser.add_argument(
         "--timeout",
         type=float,
         default=None,
@@ -172,6 +187,8 @@ def main(argv=None) -> int:
         solver_backend=args.backend,
         cube_and_conquer=args.cube,
         incremental_smt=not args.no_incremental_smt,
+        summaries=not args.no_summaries,
+        summary_workers=args.summary_workers,
         max_path_depth=args.max_depth
         if args.max_depth is not None
         else defaults.max_path_depth,

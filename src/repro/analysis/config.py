@@ -69,6 +69,13 @@ class AnalysisConfig:
     #: solvers (assumption-based, ship-once/assume-many); exact w.r.t.
     #: reported bug keys, ignored under cube_and_conquer
     incremental_smt: bool = True
+    #: per-function value-flow/escape summaries between Alg. 1 and
+    #: Alg. 2: interference runs its fixpoint over indexed, demand-loaded
+    #: function spans instead of whole-VFG scans (exact w.r.t. bug keys)
+    summaries: bool = True
+    #: shards for summary fingerprinting (1 = in-process serial; >1 uses
+    #: the ``solver_backend`` pool with process→thread→serial fallback)
+    summary_workers: int = 1
     #: ablation: apply the semi-decision guard filter during construction
     prune_guards: bool = True
     #: ablation: prune non-MHP store/load pairs before Alg. 2 (paper §6)

@@ -51,6 +51,7 @@ from ..vfg.builder import VFGBundle
 from ..vfg.dataflow import DataDependenceAnalysis, DataflowJournal
 from ..vfg.graph import ObjNode, VFGNode
 from ..vfg.interference import InterferenceAnalysis
+from ..vfg.summaries import SummaryIndex, compute_summaries
 from ..frontend import FrontendError
 from ..testing.faults import fault_point
 from .artifacts import ArtifactStore
@@ -372,8 +373,12 @@ class AnalysisPipeline:
         truncation_warnings: List[str] = []
         bundle: Optional[VFGBundle] = None
         realizability: Optional[RealizabilityChecker] = None
+        summary_index: Optional[SummaryIndex] = None
 
         def finish() -> AnalysisReport:
+            if summary_index is not None:
+                for key, value in summary_index.view.statistics().items():
+                    self.registry.gauge(f"summary.{key}").set(value)
             peak = 0
             if track_memory:
                 _current, peak = tracemalloc.get_traced_memory()
@@ -488,6 +493,36 @@ class AnalysisPipeline:
         if self._out_of_time("dataflow"):
             return finish()
 
+        # -- per-function value-flow summaries (sharded, content-keyed) -----
+        if cfg.summaries:
+
+            def run_summaries() -> SummaryIndex:
+                return compute_summaries(
+                    dataflow,
+                    store=self.store if (caching and lineage is not None) else None,
+                    lineage_key=f"{lineage}:{cfg.cache_key()}",
+                    workers=cfg.summary_workers,
+                    backend=cfg.solver_backend,
+                    metrics=self.registry,
+                    tracer=self.tracer,
+                )
+
+            summary_index, error = pm.attempt("summaries", run_summaries)
+            if error is not None:
+                # The summary layer is an accelerator: losing it degrades
+                # to the whole-VFG fixpoint, never the findings.
+                pm.warn("summary layer unavailable; interference runs unsharded")
+                summary_index = None
+            else:
+                computed = self.registry.counter("summary.computed").value
+                reused = self.registry.counter("summary.cache_hits").value
+                pm.records[-1].detail = (
+                    f"{len(summary_index.summaries)} summaries"
+                    f" ({computed} computed, {reused} reused)"
+                )
+            if self._out_of_time("summaries"):
+                return finish()
+
         # -- Alg. 2 interference (always recomputed: global fixpoint) -------
         def run_interference() -> InterferenceAnalysis:
             analysis = InterferenceAnalysis(
@@ -496,6 +531,8 @@ class AnalysisPipeline:
                 max_rounds=cfg.max_interference_rounds,
                 use_mhp=cfg.use_mhp,
                 prune_guards=cfg.prune_guards,
+                summary_index=summary_index,
+                metrics=self.registry,
             )
             analysis.run()
             return analysis
@@ -519,8 +556,9 @@ class AnalysisPipeline:
             interference=interference,
             pointsto=pointsto,
             build_seconds=pm.seconds_of(
-                "pointer", "tcg", "mhp", "dataflow", "interference"
+                "pointer", "tcg", "mhp", "dataflow", "summaries", "interference"
             ),
+            summary_index=summary_index,
         )
 
         # -- detection ------------------------------------------------------

@@ -216,6 +216,7 @@ class RealizabilityChecker:
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
         incremental_smt: bool = True,
+        warm_family_threshold: int = 3,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"unknown solver backend {backend!r} (want one of {BACKENDS})")
@@ -227,6 +228,14 @@ class RealizabilityChecker:
         #: route queries through warm per-sink-family incremental solvers
         #: (assumption-based; disabled automatically under cube-and-conquer)
         self.incremental_smt = incremental_smt and not use_cube_and_conquer
+        #: warm solving only pays off once a sink family has enough
+        #: sibling queries to amortize the solver's clause-shipping setup;
+        #: the first ``warm_family_threshold`` queries of each family
+        #: solve one-shot, later siblings route to the warm solver.  This
+        #: removes the end-to-end overhead on small families (most corpus
+        #: sinks see one or two queries) while keeping the big-family win.
+        self.warm_family_threshold = max(0, warm_family_threshold)
+        self._family_counts: Dict[str, int] = {}
         self.solver_max_conflicts = solver_max_conflicts
         self.solver_timeout = solver_timeout
         #: optional repro.analysis.budget.Budget — clips per-query
@@ -436,7 +445,13 @@ class RealizabilityChecker:
         solve one-shot (incremental solving off, or no sink to key by)."""
         if not self.incremental_smt or query.sink_inst is None:
             return None
-        return f"sink:{query.sink_inst.label}"
+        family = f"sink:{query.sink_inst.label}"
+        with self._stats_lock:
+            count = self._family_counts.get(family, 0) + 1
+            self._family_counts[family] = count
+        if count <= self.warm_family_threshold:
+            return None  # family not yet proven hot: one-shot is cheaper
+        return family
 
     def check(self, query: PathQuery) -> RealizabilityResult:
         return self.check_formula(self.formula_for(query), family=self.family_for(query))

@@ -185,6 +185,10 @@ class PathSearcher:
         sink_nodes: Optional[Set[VFGNode]] = None,
     ) -> None:
         self.bundle = bundle
+        #: forward adjacency — the summary layer's demand-loading view
+        #: when the run built one (identical lists, loaded per function
+        #: span as the DFS reaches them), else the VFG itself
+        self.graph = bundle.graph_view()
         self.limits = limits
         self.reach_index = reach_index
         self.guard_pruning = guard_pruning
@@ -270,7 +274,7 @@ class PathSearcher:
         outcome may be memoized; ``saw_sink`` means some node of the
         subtree belongs to the sink set.
         """
-        out_edges = self.bundle.vfg.out_edges(node)
+        out_edges = self.graph.out_edges(node)
         if not out_edges:
             return True, False
         if len(path.edges) >= self.limits.max_depth:

@@ -38,12 +38,23 @@ class VFGBundle:
     interference: InterferenceAnalysis
     pointsto: SteensgaardResult
     build_seconds: float = 0.0
+    #: per-function summary layer (:class:`repro.vfg.summaries.SummaryIndex`)
+    #: when the run computed one; detection walks its demand-loading view
+    summary_index: Optional[object] = None
 
     _def_index: Optional[Dict] = None
 
     @property
     def object_stores(self) -> Dict[MemObject, List[Tuple[StoreInst, BoolTerm]]]:
         return self.interference.object_stores
+
+    def graph_view(self):
+        """The forward-adjacency view detection should walk: the
+        summary view when present (identical lists, demand-loaded per
+        function span), else the VFG itself."""
+        if self.summary_index is not None:
+            return self.summary_index.view
+        return self.vfg
 
     @property
     def def_index(self) -> Dict:

@@ -171,6 +171,14 @@ class DataDependenceAnalysis:
         self._journal: Optional[FunctionJournal] = None
         #: (function name, 'run'|'cached', seconds) per Alg. 1 pass
         self.function_trace: List[Tuple[str, str, float]] = []
+        #: per-function ownership extents, in pass order: name ->
+        #: (edge_start, edge_end, store_start, store_end, load_start,
+        #: load_end, fork_escape_start, fork_escape_end).  Alg. 1 mutates
+        #: the VFG, the site lists and the fork-escape seeds only inside
+        #: per-function passes, so each function owns one contiguous span
+        #: of edge ordinals and site positions — the basis of the
+        #: per-function value-flow summaries (:mod:`repro.vfg.summaries`).
+        self.function_extents: Dict[str, Tuple[int, ...]] = {}
 
     # ----- public ---------------------------------------------------------
 
@@ -204,6 +212,12 @@ class DataDependenceAnalysis:
                 if rec is not None and not self._replay_valid(rec, func):
                     rec = None
             t0 = time.perf_counter()
+            marks = (
+                self.vfg.num_edges,
+                len(self.all_stores),
+                len(self.all_loads),
+                len(self.fork_escaped),
+            )
             if rec is not None:
                 self._replay(rec)
                 new_functions[name] = rec
@@ -223,6 +237,16 @@ class DataDependenceAnalysis:
                 self.function_trace.append(
                     (name, "run", time.perf_counter() - t0)
                 )
+            self.function_extents[name] = (
+                marks[0],
+                self.vfg.num_edges,
+                marks[1],
+                len(self.all_stores),
+                marks[2],
+                len(self.all_loads),
+                marks[3],
+                len(self.fork_escaped),
+            )
             new_order.append(name)
             pos += 1
         if journal is not None:

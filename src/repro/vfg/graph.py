@@ -113,6 +113,11 @@ class ValueFlowGraph:
         self._out: Dict[VFGNode, List[VFGEdge]] = {}
         self._in: Dict[VFGNode, List[VFGEdge]] = {}
         self._edge_keys: set = set()
+        #: every edge in insertion order — an edge's index here is its
+        #: global *ordinal*.  Per-node ``_out``/``_in`` lists are ordinal-
+        #: sorted by construction, which is what lets the summary layer
+        #: rebuild any adjacency list exactly from per-function spans.
+        self._edges: List[VFGEdge] = []
         self.num_edges = 0
         #: bumped on every mutation — derived structures (e.g. the
         #: sink-reachability indexes) record it to detect staleness
@@ -157,6 +162,7 @@ class ValueFlowGraph:
         self._in.setdefault(dst, []).append(edge)
         self._out.setdefault(dst, [])
         self._in.setdefault(src, [])
+        self._edges.append(edge)
         self.num_edges += 1
         self.version += 1
         return edge
@@ -171,6 +177,11 @@ class ValueFlowGraph:
 
     def nodes(self) -> Iterator[VFGNode]:
         return iter(self._out.keys())
+
+    def edge_slice(self, start: int, end: int) -> List[VFGEdge]:
+        """The edges with ordinals ``start <= i < end`` (insertion order);
+        the summary layer's view of one function's owned edge span."""
+        return self._edges[start:end]
 
     def edges(self) -> Iterator[VFGEdge]:
         for edges in self._out.values():

@@ -53,6 +53,8 @@ class InterferenceAnalysis:
         max_rounds: int = 20,
         use_mhp: bool = True,
         prune_guards: bool = True,
+        summary_index=None,
+        metrics=None,
     ) -> None:
         self.use_mhp = use_mhp
         self.prune_guards = prune_guards
@@ -62,6 +64,14 @@ class InterferenceAnalysis:
         self.vfg: ValueFlowGraph = dataflow.vfg
         self.mhp = mhp
         self.max_rounds = max_rounds
+        #: per-function summary layer (:mod:`repro.vfg.summaries`); when
+        #: present the fixpoint walks the demand-loading view and looks up
+        #: store/load candidates through the merged site indexes instead
+        #: of scanning every site for every object — same edges, same
+        #: order, fewer touched shards
+        self.summary_index = summary_index
+        self.metrics = metrics
+        self._graph = summary_index.view if summary_index is not None else dataflow.vfg
         self.escaped: Set[MemObject] = set()
         #: escaped object -> {node: aggregated guard}
         self.pted: Dict[MemObject, Dict[VFGNode, BoolTerm]] = {}
@@ -69,6 +79,11 @@ class InterferenceAnalysis:
         self.object_stores: Dict[MemObject, List[Tuple[StoreInst, BoolTerm]]] = {}
         self.interference_edge_count = 0
         self.rounds = 0
+        #: guard-widening events (aggregated guard forced to TRUE at
+        #: the _GUARD_UPDATE_CAP refinement)
+        self.widenings = 0
+        #: all line-9/interference edges added by this analysis
+        self.edges_added = 0
         self._points_back_cache: Dict[Variable, Set[MemObject]] = {}
 
     # ----- public -----------------------------------------------------------
@@ -85,6 +100,14 @@ class InterferenceAnalysis:
                 break
             self._points_back_cache.clear()
         self._index_object_stores()
+        if self.metrics is not None:
+            self.metrics.counter("interference.rounds").add(self.rounds)
+            self.metrics.counter("interference.widenings").add(self.widenings)
+            self.metrics.counter("interference.edges_added").add(self.edges_added)
+            self.metrics.counter("interference.interference_edges").add(
+                self.interference_edge_count
+            )
+            self.metrics.gauge("interference.escaped_objects").set(len(self.escaped))
         return self.vfg
 
     # ----- escape analysis (lines 12-23) -------------------------------------
@@ -108,17 +131,35 @@ class InterferenceAnalysis:
         while changed:
             changed = False
             escaping_ptrs = self._pointer_vars_of_escaped()
-            for store in self.dataflow.all_stores:
-                if not isinstance(store.pointer, Variable):
-                    continue
-                if store.pointer not in escaping_ptrs:
-                    continue
+            for store in self._stores_through(escaping_ptrs):
                 if not isinstance(store.value, Variable):
                     continue
                 for obj in self._objects_pointed_by(store.value):
                     if obj not in self.escaped:
                         self.escaped.add(obj)
                         changed = True
+
+    def _stores_through(self, ptrs: Set[Variable]) -> Iterable[StoreInst]:
+        """Stores whose pointer is one of ``ptrs``, in global site order.
+
+        With the summary layer this is an index lookup (positions merged
+        across the touched pointers, then sorted — the same ascending
+        subsequence the whole-list scan would yield); without it, the
+        original scan over every store.
+        """
+        index = self.summary_index
+        if index is None:
+            return [
+                s
+                for s in self.dataflow.all_stores
+                if isinstance(s.pointer, Variable) and s.pointer in ptrs
+            ]
+        positions: List[int] = []
+        for var in ptrs:
+            positions.extend(index.store_positions(var))
+        positions.sort()
+        all_stores = self.dataflow.all_stores
+        return [all_stores[pos] for pos in positions]
 
     def _pointer_vars_of_escaped(self) -> Set[Variable]:
         out: Set[Variable] = set()
@@ -174,10 +215,11 @@ class InterferenceAnalysis:
         guards: Dict[VFGNode, BoolTerm] = {origin: TRUE}
         updates: Dict[VFGNode, int] = {}
         worklist: List[VFGNode] = [origin]
+        graph = self._graph
         while worklist:
             node = worklist.pop()
             node_guard = guards[node]
-            for edge in self.vfg.out_edges(node):
+            for edge in graph.out_edges(node):
                 new_guard = and_(node_guard, edge.guard)
                 if new_guard is FALSE:
                     continue
@@ -191,7 +233,11 @@ class InterferenceAnalysis:
                     continue
                 count = updates.get(edge.dst, 0) + 1
                 updates[edge.dst] = count
-                guards[edge.dst] = TRUE if count >= _GUARD_UPDATE_CAP else merged
+                if count >= _GUARD_UPDATE_CAP:
+                    self.widenings += 1
+                    guards[edge.dst] = TRUE
+                else:
+                    guards[edge.dst] = merged
                 worklist.append(edge.dst)
         guards.pop(origin, None)
         return guards
@@ -204,20 +250,37 @@ class InterferenceAnalysis:
             pted = self.pted.get(obj, {})
             if not pted:
                 continue
-            stores = [
-                (s, pted[DefNode(s.pointer)])
-                for s in self.dataflow.all_stores
-                if isinstance(s.pointer, Variable) and DefNode(s.pointer) in pted
-            ]
-            loads = [
-                (l, pted[DefNode(l.pointer)])
-                for l in self.dataflow.all_loads
-                if isinstance(l.pointer, Variable) and DefNode(l.pointer) in pted
-            ]
+            stores = self._pted_sites(pted, kind="store")
+            loads = self._pted_sites(pted, kind="load")
             for store, alpha in stores:
                 for load, beta in loads:
                     added += self._try_edge(obj, store, alpha, load, beta)
+        self.edges_added += added
         return added
+
+    def _pted_sites(self, pted: Dict[VFGNode, BoolTerm], kind: str) -> List[Tuple]:
+        """``(site, alias guard)`` pairs whose pointer is in Pted, in
+        global site order — via the merged summary index (positions of
+        the Pted pointer variables, sorted: the identical ascending
+        subsequence) or the original whole-list scan."""
+        index = self.summary_index
+        if index is None:
+            sites = (
+                self.dataflow.all_stores if kind == "store" else self.dataflow.all_loads
+            )
+            return [
+                (s, pted[DefNode(s.pointer)])
+                for s in sites
+                if isinstance(s.pointer, Variable) and DefNode(s.pointer) in pted
+            ]
+        lookup = index.store_positions if kind == "store" else index.load_positions
+        positions: List[int] = []
+        for node in pted:
+            if isinstance(node, DefNode):
+                positions.extend(lookup(node.var))
+        positions.sort()
+        sites = self.dataflow.all_stores if kind == "store" else self.dataflow.all_loads
+        return [(sites[pos], pted[DefNode(sites[pos].pointer)]) for pos in positions]
 
     def _try_edge(
         self,
@@ -257,6 +320,10 @@ class InterferenceAnalysis:
         )
         if edge is None:
             return 0
+        if self.summary_index is not None:
+            # Mirror into the demand-loading view; the just-assigned
+            # ordinal is num_edges - 1 (add_edge appends).
+            self.summary_index.view.add_overlay(edge, self.vfg.num_edges - 1)
         if interthread:
             self.interference_edge_count += 1
         return 1
@@ -268,11 +335,7 @@ class InterferenceAnalysis:
         build the no-overwrite part of Φ_ls (the S(l) of Eq. 2)."""
         for obj in self.escaped:
             pted = self.pted.get(obj, {})
-            entries: List[Tuple[StoreInst, BoolTerm]] = []
-            for s in self.dataflow.all_stores:
-                if isinstance(s.pointer, Variable) and DefNode(s.pointer) in pted:
-                    entries.append((s, pted[DefNode(s.pointer)]))
-            self.object_stores[obj] = entries
+            self.object_stores[obj] = self._pted_sites(pted, kind="store")
         # Objects never escaped still need S(l) for intra-thread edges.
         for obj, targeted in self.dataflow.store_targets.items():
             if obj not in self.object_stores:

@@ -11,7 +11,7 @@ from __future__ import annotations
 import random
 from typing import List
 
-__all__ = ["random_program"]
+__all__ = ["random_program", "scaled_program"]
 
 
 def random_program(seed: int, n_workers: int = 2, ops_per_body: int = 6) -> str:
@@ -88,5 +88,73 @@ def random_program(seed: int, n_workers: int = 2, ops_per_body: int = 6) -> str:
     if rng.random() < 0.4:
         lines.append(f"    join(t{rng.randrange(n_workers)});")
         lines.extend(body_ops("m2", "    ", rng))
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def scaled_program(
+    seed: int = 0,
+    n_groups: int = 60,
+    helpers_per_group: int = 5,
+    bug_groups: int = 2,
+) -> str:
+    """The scale knob: a multi-hundred-function module for the sharding
+    benchmark (``n_groups * (helpers_per_group + 4) + 1`` functions, one
+    thread per group, mixed escape patterns).
+
+    Each group owns a shared slot and exercises a different escape route:
+    the slot and its initial object escape through the fork argument,
+    while the group's fresh allocation escapes *only* through a store
+    inside ``publish<g>`` — a summary-boundary escape, invisible to any
+    per-function view that drops boundary stores.  Exactly ``bug_groups``
+    groups contain a deterministic use-after-free (worker republishes and
+    frees, main reads), so expected bug keys are independent of scale.
+    """
+    rng = random.Random(seed)
+    lines: List[str] = ["extern int mode;", ""]
+    for g in range(n_groups):
+        for j in range(helpers_per_group):
+            lines.append(f"void help{g}_{j}(int** s) {{")
+            lines.append(f"    int* h{g}_{j} = *s;")
+            lines.append(f"    *s = h{g}_{j};")
+            if j % 2 == 0:
+                lines.append(f"    print(*h{g}_{j});")
+            else:
+                lines.append(f"    int n{g}_{j} = {j} + {rng.randrange(7)};")
+            lines.append("}")
+            lines.append("")
+        lines.append(f"void publish{g}(int** s, int* p) {{ *s = p; }}")
+        lines.append("")
+        lines.append(f"void alloc{g}(int** s) {{")
+        lines.append(f"    int* fresh{g} = malloc();")
+        lines.append(f"    publish{g}(s, fresh{g});")
+        lines.append("}")
+        lines.append("")
+        lines.append(f"void reader{g}(int** s) {{")
+        lines.append(f"    int* r{g} = *s;")
+        lines.append(f"    print(*r{g});")
+        lines.append("}")
+        lines.append("")
+        lines.append(f"void wthread{g}(int** s) {{")
+        if g < bug_groups:
+            lines.append(f"    int* b{g} = malloc();")
+            lines.append(f"    *s = b{g};")
+            lines.append(f"    free(b{g});")
+        else:
+            lines.append(f"    alloc{g}(s);")
+            for j in range(helpers_per_group):
+                lines.append(f"    help{g}_{j}(s);")
+            lines.append(f"    reader{g}(s);")
+        lines.append("}")
+        lines.append("")
+    lines.append("void main() {")
+    for g in range(n_groups):
+        lines.append(f"    int** slot{g} = malloc();")
+        lines.append(f"    int* init{g} = malloc();")
+        lines.append(f"    *slot{g} = init{g};")
+        lines.append(f"    fork(t{g}, wthread{g}, slot{g});")
+    for g in range(n_groups):
+        lines.append(f"    int* v{g} = *slot{g};")
+        lines.append(f"    print(*v{g});")
     lines.append("}")
     return "\n".join(lines) + "\n"

@@ -1,0 +1,244 @@
+"""The per-function summary layer (:mod:`repro.vfg.summaries`).
+
+Covers the exactness contract (identical adjacency, identical bug keys
+with summaries on/off and across worker counts/backends), the artifact
+round-trip (compute → persist → demand-load), single-edit invalidation
+(exactly one summary recomputed), and the degradation ladder (pool
+death → thread fallback → serial; a crashing summaries pass falls back
+to the unsharded fixpoint without losing findings).
+"""
+
+import pytest
+
+from repro import AnalysisConfig, Canary
+from repro.testing import faults
+from repro.testing.faults import FaultPlan, inject
+from repro.vfg.summaries import FunctionVFSummary, compute_summaries
+
+from fuzz_gen import scaled_program
+from test_corpus import CORPUS_FILES, _parse_directives
+
+SUBJECT = """
+void helper(int** s, int* p) { *s = p; }
+void worker(int** s) { int* b = malloc(); helper(s, b); free(b); }
+void main() {
+    int** slot = malloc();
+    int* init = malloc();
+    *slot = init;
+    fork(t, worker, slot);
+    int* v = *slot;
+    print(*v);
+}
+"""
+
+SUBJECT_EDITED = SUBJECT.replace("print(*v);", "print(*v);\n    int z = 1 + 2;")
+
+SCALED = scaled_program(n_groups=6, helpers_per_group=3)
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    yield
+    faults.clear()
+
+
+def _keys(report):
+    return sorted(b.key for b in report.bugs)
+
+
+def _run(text, **overrides):
+    overrides.setdefault("use_cache", False)
+    return Canary(AnalysisConfig(**overrides)).analyze_source(text)
+
+
+class TestExactness:
+    def test_view_matches_vfg_adjacency_everywhere(self):
+        report = _run(SUBJECT)
+        index = report.bundle.summary_index
+        assert index is not None
+        view = index.view
+        # Force every node through the demand loader, then compare each
+        # materialized list to the real VFG's — same edges, same order.
+        vfg = report.bundle.vfg
+        for node in list(vfg.nodes()):
+            assert view.out_edges(node) == vfg.out_edges(node)
+        view.assert_consistent()
+        stats = view.statistics()
+        assert stats["shards_loaded"] == stats["shards_total"] == 3
+
+    def test_vfg_summary_identical_on_off(self):
+        on = _run(SUBJECT)
+        off = _run(SUBJECT, summaries=False)
+        assert _keys(on) == _keys(off)
+        assert on.vfg_summary == off.vfg_summary
+        assert off.bundle.summary_index is None
+        assert off.bundle.graph_view() is off.bundle.vfg
+
+    @pytest.mark.parametrize(
+        "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
+    )
+    def test_corpus_keys_equal_on_off(self, path):
+        text = path.read_text()
+        expects, checkers, config = _parse_directives(text)
+        base = dict(config, checkers=checkers, use_cache=False)
+        on = Canary(AnalysisConfig(**base)).analyze_source(text)
+        off = Canary(AnalysisConfig(**base, summaries=False)).analyze_source(text)
+        assert _keys(on) == _keys(off)
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    @pytest.mark.parametrize("backend", ["process", "thread"])
+    def test_worker_count_equivalence(self, workers, backend):
+        ref = _run(SCALED, summaries=False)
+        rep = _run(SCALED, summary_workers=workers, solver_backend=backend)
+        assert _keys(rep) == _keys(ref)
+        assert len(_keys(rep)) == 2  # the generator's deterministic bugs
+        assert rep.vfg_summary == ref.vfg_summary
+        snap = rep.metrics.snapshot()
+        assert snap["summary.computed"] == snap["summary.functions"]
+        assert snap["summary.workers"] == workers
+
+
+class TestArtifactRoundTrip:
+    def test_persist_and_demand_load_identical_edges(self):
+        canary = Canary(AnalysisConfig())
+        first = canary.analyze_source(SUBJECT, filename="s.mcc")
+        second = canary.analyze_source(SUBJECT_EDITED, filename="s.mcc")
+        snap = second.metrics.snapshot()
+        # Replayed functions demand-load their persisted summaries; only
+        # the edited function (main, last in the bottom-up order) is
+        # fingerprinted again.
+        assert snap["summary.cache_hits"] == 2
+        assert snap["summary.computed"] == 1
+        rerun = [
+            row["name"].split(":", 1)[1]
+            for row in second.pass_statistics
+            if row["name"].startswith("dataflow:") and row["status"] == "run"
+        ]
+        assert rerun == ["main"]
+        # Reused summaries are the same artifacts, not recomputed equals.
+        assert (
+            second.bundle.summary_index.summaries["worker"]
+            is first.bundle.summary_index.summaries["worker"]
+        )
+        cold = _run(SUBJECT_EDITED)
+        assert _keys(second) == _keys(cold) == _keys(first)
+        assert second.vfg_summary == cold.vfg_summary
+
+    def test_summary_artifact_content(self):
+        report = _run(SUBJECT)
+        index = report.bundle.summary_index
+        summary = index.summaries["worker"]
+        assert isinstance(summary, FunctionVFSummary)
+        assert summary.fingerprint and len(summary.fingerprint) == 64
+        start, end = summary.edge_span
+        assert end > start
+        # Site positions point back into the global site lists and stay
+        # inside the function's own extent.
+        dataflow = report.bundle.dataflow
+        for positions in summary.ptr_stores.values():
+            for pos in positions:
+                assert summary.extent[2] <= pos < summary.extent[3]
+                assert dataflow.all_stores[pos].pointer in summary.ptr_stores
+
+    def test_fingerprint_tracks_function_content(self):
+        # Within one driver the edited function gets a new fingerprint
+        # while untouched functions keep their (reused) artifacts.
+        canary = Canary(AnalysisConfig())
+        first = canary.analyze_source(SUBJECT, filename="s.mcc")
+        second = canary.analyze_source(SUBJECT_EDITED, filename="s.mcc")
+        fps1 = {n: s.fingerprint for n, s in first.bundle.summary_index.summaries.items()}
+        fps2 = {n: s.fingerprint for n, s in second.bundle.summary_index.summaries.items()}
+        assert fps1["helper"] == fps2["helper"]
+        assert fps1["worker"] == fps2["worker"]
+        assert fps1["main"] != fps2["main"]
+
+    def test_compute_summaries_direct(self):
+        report = _run(SUBJECT)
+        dataflow = report.bundle.dataflow
+        index = compute_summaries(dataflow, workers=1)
+        assert set(index.summaries) == {"helper", "worker", "main"}
+        total_span = sum(s.num_edges for s in index.summaries.values())
+        # Every dataflow edge is owned by exactly one function span; the
+        # difference to num_edges is the interference overlay.
+        assert total_span <= dataflow.vfg.num_edges
+
+
+class TestDegradation:
+    def test_pool_death_falls_back_to_threads(self):
+        ref = _run(SCALED, summaries=False)
+        with inject(FaultPlan.make(die=["worker:summary"])):
+            rep = _run(SCALED, summary_workers=4, solver_backend="process")
+        assert _keys(rep) == _keys(ref)
+        snap = rep.metrics.snapshot()
+        assert snap.get("summary.pool_failures", 0) >= 1
+        assert snap["summary.computed"] == snap["summary.functions"]
+
+    def test_pool_death_die_once(self, tmp_path):
+        ref = _run(SCALED, summaries=False)
+        plan = FaultPlan.make(
+            die=["worker:summary"], die_once_path=str(tmp_path / "died")
+        )
+        with inject(plan):
+            rep = _run(SCALED, summary_workers=4, solver_backend="process")
+        assert _keys(rep) == _keys(ref)
+
+    def test_fault_seeded_runs_stay_exact(self, monkeypatch):
+        # The CI matrix path: a seeded plan must never change bug keys
+        # when it only kills summary workers.
+        monkeypatch.setenv(faults.SEED_ENV_VAR, "1")
+        with inject(FaultPlan.make(die=["worker:summary"])):
+            rep = _run(SUBJECT, summary_workers=2, solver_backend="process")
+        assert len(_keys(rep)) == 1
+
+    def test_crashing_summaries_pass_keeps_findings(self):
+        with inject(FaultPlan.make(crash=["pass:summaries"])):
+            rep = _run(SUBJECT)
+        # The summary layer is an accelerator: losing it degrades to the
+        # unsharded fixpoint, not to an empty report.
+        assert len(_keys(rep)) == 1
+        assert rep.bundle.summary_index is None
+        failed = [r for r in rep.pass_statistics if r["status"] == "failed"]
+        assert [r["name"] for r in failed] == ["summaries"]
+        assert any("summary layer" in w for w in rep.degradation_warnings)
+        assert _keys(rep) == _keys(_run(SUBJECT))
+
+    def test_thread_backend_never_dies(self):
+        with inject(FaultPlan.make(die=["worker:summary"])):
+            rep = _run(SUBJECT, summary_workers=2, solver_backend="thread")
+        assert len(_keys(rep)) == 1
+
+
+class TestMetricsAndObservability:
+    def test_interference_convergence_metrics(self):
+        rep = _run(SCALED)
+        snap = rep.metrics.snapshot()
+        assert snap["interference.rounds"] == rep.vfg_summary["fixpoint_rounds"]
+        assert (
+            snap["interference.interference_edges"]
+            == rep.vfg_summary["interference_edges"]
+        )
+        assert snap["interference.edges_added"] >= snap["interference.interference_edges"]
+        assert snap["interference.escaped_objects"] == rep.vfg_summary["escaped_objects"]
+        assert "interference.widenings" in snap
+
+    def test_metrics_present_without_summaries(self):
+        rep = _run(SUBJECT, summaries=False)
+        snap = rep.metrics.snapshot()
+        assert "interference.rounds" in snap
+        assert "summary.functions" not in snap
+
+    def test_demand_loading_skips_untouched_shards(self):
+        # Dead helper functions publish nothing and are unreachable from
+        # any escaped object or enumerated path: their shards must never
+        # materialize.
+        text = SUBJECT + "\nvoid dead1() { int a = 1 + 2; }\nvoid dead2() { int b = 2 + 3; }\n"
+        rep = _run(text)
+        stats = rep.bundle.summary_index.view.statistics()
+        assert stats["shards_total"] == 5
+        assert stats["shards_loaded"] < stats["shards_total"]
+
+    def test_summaries_pass_row_present(self):
+        rep = _run(SUBJECT)
+        rows = {r["name"]: r for r in rep.pass_statistics}
+        assert rows["summaries"]["status"] == "run"
+        assert "3 summaries" in rows["summaries"]["detail"]
