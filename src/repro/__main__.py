@@ -96,6 +96,24 @@ def main(argv=None) -> int:
         " >1 uses the --backend pool with automatic fallback)",
     )
     parser.add_argument(
+        "--detect-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shards for the detection phase: sink families are"
+        " partitioned across --backend pool workers, each running the"
+        " full enumerate+solve pipeline over its shard (1 = no sharding;"
+        " reported bugs are identical at every worker count)",
+    )
+    parser.add_argument(
+        "--summary-cache",
+        default=None,
+        metavar="DIR",
+        help="persist per-function value-flow summaries under DIR:"
+        " a later invocation reuses the summaries of unchanged functions"
+        " across process restarts (defaults to --cache-dir when set)",
+    )
+    parser.add_argument(
         "--no-summaries",
         action="store_true",
         help="run interference/detection over the whole VFG instead of"
@@ -189,6 +207,7 @@ def main(argv=None) -> int:
         incremental_smt=not args.no_incremental_smt,
         summaries=not args.no_summaries,
         summary_workers=args.summary_workers,
+        detect_workers=args.detect_workers,
         max_path_depth=args.max_depth
         if args.max_depth is not None
         else defaults.max_path_depth,
@@ -206,6 +225,7 @@ def main(argv=None) -> int:
         solver_timeout_seconds=args.solver_timeout,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        summary_cache_dir=args.summary_cache,
         explain_cache=args.explain_cache,
     )
     tracing = args.trace_out is not None or args.trace_chrome is not None

@@ -33,18 +33,30 @@ __all__ = ["ArtifactStore"]
 class ArtifactStore:
     """Keyed artifact storage with hit/miss accounting and an event log."""
 
-    def __init__(self, cache_dir: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        summary_cache_dir: Optional[str] = None,
+    ) -> None:
         self.cache_dir = cache_dir
+        #: dedicated home of the per-function summary namespace (``vfs``);
+        #: falls back to ``cache_dir`` when unset, so plain ``--cache-dir``
+        #: runs persist summaries alongside whole-run reports
+        self.summary_cache_dir = summary_cache_dir
         self._memory: Dict[Tuple[str, Any], Any] = {}
         self.hits = 0
         self.misses = 0
+        #: disk entries that existed but failed to decode (truncated or
+        #: corrupt JSON) — counted, treated as misses, never raised
+        self.disk_corrupt = 0
         self.events: List[str] = []
         #: Φ_all → verdict memo shared across runs (PR 1)
         self.verdict_cache = VerdictCache()
         #: sink-set → backward reachability index memo shared across runs (PR 2)
         self.index_cache = ReachabilityIndexCache()
-        if cache_dir:
-            os.makedirs(cache_dir, exist_ok=True)
+        for directory in (cache_dir, summary_cache_dir):
+            if directory:
+                os.makedirs(directory, exist_ok=True)
 
     # ----- event log ------------------------------------------------------
 
@@ -56,6 +68,7 @@ class ArtifactStore:
             "artifact_hits": self.hits,
             "artifact_misses": self.misses,
             "artifacts_stored": len(self._memory),
+            "disk_corrupt": self.disk_corrupt,
         }
 
     # ----- in-memory layer -------------------------------------------------
@@ -84,10 +97,19 @@ class ArtifactStore:
 
     # ----- on-disk layer -----------------------------------------------------
 
+    def _disk_dir(self, namespace: str) -> Optional[str]:
+        if namespace == "vfs" and self.summary_cache_dir:
+            return self.summary_cache_dir
+        return self.cache_dir
+
+    def has_disk(self, namespace: str) -> bool:
+        return self._disk_dir(namespace) is not None
+
     def _disk_path(self, namespace: str, digest: str) -> Optional[str]:
-        if not self.cache_dir:
+        directory = self._disk_dir(namespace)
+        if not directory:
             return None
-        return os.path.join(self.cache_dir, f"{namespace}-{digest}.json")
+        return os.path.join(directory, f"{namespace}-{digest}.json")
 
     def get_disk(self, namespace: str, digest: str) -> Optional[dict]:
         path = self._disk_path(namespace, digest)
@@ -96,9 +118,17 @@ class ArtifactStore:
         try:
             with open(path, encoding="utf-8") as fh:
                 value = json.load(fh)
-        except (OSError, ValueError):
+        except OSError:
             self.misses += 1
             self.note(f"miss disk:{namespace}")
+            return None
+        except ValueError:
+            # The file exists but does not decode: a truncated write from
+            # a killed process, or external corruption.  A cache must
+            # never turn that into a run failure — count it and recompute.
+            self.disk_corrupt += 1
+            self.misses += 1
+            self.note(f"corrupt disk:{namespace}")
             return None
         self.hits += 1
         self.note(f"hit disk:{namespace}")
@@ -108,9 +138,10 @@ class ArtifactStore:
         path = self._disk_path(namespace, digest)
         if path is None:
             return
-        # Atomic publish: a concurrent reader sees the old file or the new
-        # one, never a torn write.
-        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        # Atomic publish: the temp file lives in the destination directory
+        # (same filesystem, so ``os.replace`` is atomic) and a concurrent
+        # reader sees the old file or the new one, never a torn write.
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(value, fh, default=str)

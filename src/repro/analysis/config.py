@@ -18,7 +18,9 @@ __all__ = ["AnalysisConfig", "CACHE_ONLY_FIELDS"]
 #: fields that select *where* results are cached, not *what* is computed —
 #: they are excluded from :meth:`AnalysisConfig.cache_key` so toggling
 #: them never invalidates artifacts.
-CACHE_ONLY_FIELDS = frozenset({"cache_dir", "use_cache", "explain_cache"})
+CACHE_ONLY_FIELDS = frozenset(
+    {"cache_dir", "use_cache", "explain_cache", "summary_cache_dir"}
+)
 
 
 @dataclass(frozen=True)
@@ -76,6 +78,12 @@ class AnalysisConfig:
     #: shards for summary fingerprinting (1 = in-process serial; >1 uses
     #: the ``solver_backend`` pool with process→thread→serial fallback)
     summary_workers: int = 1
+    #: shards for the detection phase: sink families are partitioned
+    #: across ``solver_backend`` pool workers, each running the full
+    #: enumerate+solve pipeline over its shard; the parent merges in
+    #: ordinal order, so reported bug keys equal the serial run's (1 =
+    #: no sharding; falls back process→streaming/serial on pool failure)
+    detect_workers: int = 1
     #: ablation: apply the semi-decision guard filter during construction
     prune_guards: bool = True
     #: ablation: prune non-MHP store/load pairs before Alg. 2 (paper §6)
@@ -110,6 +118,11 @@ class AnalysisConfig:
     use_cache: bool = True
     cache_dir: Optional[str] = None
     explain_cache: bool = False
+    #: directory for the portable on-disk per-function summary namespace
+    #: (``vfs``): content-keyed ``FunctionVFSummary`` entries that
+    #: survive process restarts.  ``None`` routes the namespace to
+    #: ``cache_dir`` (summaries persist whenever whole-run reports do).
+    summary_cache_dir: Optional[str] = None
 
     def cache_key(self) -> str:
         """A stable content hash over every knob that can change analysis

@@ -501,6 +501,7 @@ class AnalysisPipeline:
                     dataflow,
                     store=self.store if (caching and lineage is not None) else None,
                     lineage_key=f"{lineage}:{cfg.cache_key()}",
+                    config_key=cfg.cache_key(),
                     workers=cfg.summary_workers,
                     backend=cfg.solver_backend,
                     metrics=self.registry,
@@ -614,6 +615,7 @@ class AnalysisPipeline:
                 index_cache=index_cache,
                 streaming=cfg.streaming_solving,
                 enumeration_workers=cfg.enumeration_workers,
+                detect_workers=cfg.detect_workers,
                 budget=budget,
                 tracer=self.tracer,
             )

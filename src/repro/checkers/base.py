@@ -42,6 +42,9 @@ from ..detection.search import (
     SearchStatistics,
     TruncationEvent,
     ValueFlowPath,
+    _detect_shard,
+    _init_detect_worker,
+    partition_sink_labels,
 )
 
 __all__ = ["BugReport", "SourceSinkChecker", "UseIndex"]
@@ -154,6 +157,7 @@ class SourceSinkChecker:
         index_cache: Optional[ReachabilityIndexCache] = None,
         streaming: bool = True,
         enumeration_workers: int = 2,
+        detect_workers: int = 1,
         budget=None,
         tracer=None,
     ) -> None:
@@ -180,6 +184,14 @@ class SourceSinkChecker:
         self.index_cache = index_cache
         self.streaming = streaming
         self.enumeration_workers = max(1, enumeration_workers)
+        self.detect_workers = max(1, detect_workers)
+        #: when set, ``_enumerate_candidates`` emits only candidates whose
+        #: sink label is in this set — the per-shard restriction of the
+        #: detection-sharding workers.  Enumeration itself is unrestricted
+        #: (same DFS region, same per-source limits as serial), so the
+        #: union of shard candidate sets equals the serial candidate set
+        #: even when truncation budgets fire.
+        self._sink_filter: Optional[Set[int]] = None
         #: optional repro.analysis.budget.Budget — serial mode checks it
         #: between sources and winds down on expiry (parallel modes rely
         #: on per-query solver deadlines plus pass-boundary checks)
@@ -290,6 +302,21 @@ class SourceSinkChecker:
     # ----- driver -----------------------------------------------------------
 
     def run(self) -> List[BugReport]:
+        if (
+            self.detect_workers > 1
+            and self.solver_backend == "process"
+            and not self.collect_suppressed
+        ):
+            # Per-sink sharding across the process pool.  Suppressed-
+            # candidate diagnostics need live parent-side refutation
+            # queries, so that mode stays on the in-process paths.  A
+            # ``None`` return means the pool could not run — fall through
+            # to the streaming/batch/serial ladder below.
+            reports = self._run_sharded()
+            if reports is not None:
+                self._merged_statistics()
+                self.statistics["reports"] += len(reports)
+                return reports
         sinks = self.sink_node_set()
         index = self._reach_index(sinks)
         source_list = list(self.sources())
@@ -420,12 +447,20 @@ class SourceSinkChecker:
                 if not isinstance(node, DefNode):
                     return 0
                 emitted = 0
+                sink_filter = self._sink_filter
                 for sink_inst in self.sinks_at(node.var, source_inst):
                     key = (self.kind, source_inst.label, sink_inst.label)
                     if not self.admit(source_inst, sink_inst, path):
                         continue
+                    # The sequence counts every admitted candidate — even
+                    # ones a shard filter drops — so ``seq`` is the *serial*
+                    # ordinal of the candidate in any worker, and truncation
+                    # budgets fire at exactly the serial point.
                     emitted += 1
-                    emit((idx, seq, key, tuple(path.edges), source_inst, sink_inst))
+                    if sink_filter is None or sink_inst.label in sink_filter:
+                        emit(
+                            (idx, seq, key, tuple(path.edges), source_inst, sink_inst)
+                        )
                     seq += 1
                 return emitted
 
@@ -581,6 +616,172 @@ class SourceSinkChecker:
             backend=self.solver_backend,
         )
         return self._replay_serial_policy(list(zip(pending, queries)), results)
+
+    # ----- per-sink detection sharding ---------------------------------------
+
+    def _run_sharded(self) -> Optional[List[BugReport]]:
+        """Dispatch sink-label shards across a process pool and merge.
+
+        Returns ``None`` when sharding cannot run (nothing to shard over,
+        pool creation failed, a worker died, or the payload would not
+        pickle) — the caller then falls through to the in-process paths,
+        so a sharded run always completes.  The run budget stays parent-
+        side: workers see only the static per-query solver timeout.
+        """
+        import pickle
+        from concurrent.futures import ProcessPoolExecutor
+
+        universe: Set[int] = set()
+        for uses in (self.uses.pointer_uses, self.uses.data_uses):
+            for insts in uses.values():
+                universe.update(inst.label for inst in insts)
+        shards = partition_sink_labels(universe, self.detect_workers)
+        if len(shards) < 2:
+            return None  # 0/1 sink families: nothing to shard over
+        realizability = self.realizability
+        payload = {
+            "bundle": self.bundle,
+            "kind": self.kind,
+            "limits": self.limits,
+            "checker_kwargs": {
+                "inter_thread_only": self.inter_thread_only,
+                "max_reports_per_source": self.max_reports_per_source,
+                "sink_reachability": self.sink_reachability,
+                "guard_pruning": self.guard_pruning,
+                "dead_memo": self.dead_memo,
+            },
+            "solver": {
+                "use_cube_and_conquer": realizability.use_cube_and_conquer,
+                "solver_max_conflicts": realizability.solver_max_conflicts,
+                "order_constraints": realizability.order_constraints,
+                "memory_model": realizability.orders.memory_model,
+                "model_locks": realizability.orders.lock_analysis is not None,
+                "solver_timeout": realizability.solver_timeout,
+                "incremental_smt": realizability.incremental_smt,
+            },
+        }
+        try:
+            with ProcessPoolExecutor(
+                max_workers=len(shards),
+                initializer=_init_detect_worker,
+                initargs=(payload,),
+            ) as pool:
+                shard_results = list(pool.map(_detect_shard, shards))
+        except (
+            OSError,
+            RuntimeError,
+            ImportError,
+            EOFError,
+            pickle.PicklingError,
+        ) as exc:
+            realizability._note_pool_failure("detect-shard", exc)
+            return None
+        rows = [row for res in shard_results for row in res["rows"]]
+        # Every row carries its true serial (source-index, sequence)
+        # ordinal — see _enumerate_candidates — so this sort restores the
+        # exact order serial mode solves candidates in.
+        rows.sort(key=lambda r: (r["idx"], r["seq"]))
+        reports = self._replay_rows(rows)
+        # Every shard walks the identical DFS, so enumeration counters and
+        # truncations are byte-equal across shards: adopt the first
+        # shard's verbatim (summing would multiply-count the walk).
+        first = shard_results[0]
+        self.statistics["sources"] = first["sources"]
+        self.search_stats = SearchStatistics(**first["search_stats"])
+        self.truncation_events = [
+            TruncationEvent(origin=origin, limit=limit, count=count)
+            for origin, limit, count in first["truncations"]
+        ]
+        # Solver work really is partitioned: sum it into the run counters.
+        for res in shard_results:
+            for key, value in res["solver_stats"].items():
+                if value:
+                    realizability._count(key, value)
+        realizability.metrics.counter("detect.shards").add(len(shards))
+        return reports
+
+    def shard_rows(self, shard: Sequence[int]) -> dict:
+        """Worker half of detection sharding: run the serial enumeration
+        (identical DFS region, prunes, and truncation accounting), emit
+        only candidates whose sink label is in ``shard``, solve them in
+        enumeration order, and return plain picklable rows plus the
+        counters the parent adopts."""
+        self._sink_filter = frozenset(shard)
+        sinks = self.sink_node_set()
+        index = self._reach_index(sinks)
+        source_list = list(self.sources())
+        pending: List[_Candidate] = []
+        self._enumerate_candidates(source_list, index, sinks, pending.append)
+        pending.sort(key=lambda c: (c[0], c[1]))
+        rows: List[dict] = []
+        for cand in pending:
+            query = self._build_query(cand, source_list)
+            result = self.realizability.check(query)
+            src_threads = self.bundle.tcg.threads_of(query.source_inst)
+            sink_threads = self.bundle.tcg.threads_of(query.sink_inst)
+            rows.append(
+                {
+                    "idx": cand[0],
+                    "seq": cand[1],
+                    "source": query.source_inst.label,
+                    "sink": query.sink_inst.label,
+                    "realizable": result.realizable,
+                    "verdict": result.verdict,
+                    "witness_order": dict(result.witness_order),
+                    "witness_env": dict(result.witness_env),
+                    "path": query.path.describe(self.bundle),
+                    "inter_thread": query.path.has_interference()
+                    or any(a != b for a in src_threads for b in sink_threads),
+                    "statements": [
+                        s.label for s in query.path.statements(self.bundle)
+                    ],
+                }
+            )
+        return {
+            "rows": rows,
+            "sources": len(source_list),
+            "search_stats": self.search_stats.as_dict(),
+            "truncations": [
+                (e.origin, e.limit, e.count) for e in self.truncation_events
+            ],
+            "solver_stats": dict(self.realizability.statistics),
+        }
+
+    def _replay_rows(self, rows: Sequence[dict]) -> List[BugReport]:
+        """The serial reporting policy over ordinal-sorted shard rows —
+        the row-level twin of :meth:`_replay_serial_policy`, rehydrating
+        statements through the parent's own module by label."""
+        module = self.bundle.module
+        reports: List[BugReport] = []
+        reported_keys: Set[Tuple[str, int, int]] = set()
+        per_source: Dict[int, int] = {}
+        for row in rows:
+            key = (self.kind, row["source"], row["sink"])
+            if key in reported_keys:
+                continue
+            if row["realizable"]:
+                if per_source.get(row["source"], 0) >= self.max_reports_per_source:
+                    continue
+                per_source[row["source"]] = per_source.get(row["source"], 0) + 1
+                reported_keys.add(key)
+                reports.append(
+                    BugReport(
+                        kind=self.kind,
+                        source=module.instruction_at(row["source"]),
+                        sink=module.instruction_at(row["sink"]),
+                        path=row["path"],
+                        inter_thread=row["inter_thread"],
+                        witness_order=row["witness_order"],
+                        witness_env=row["witness_env"],
+                        statements=[
+                            module.instruction_at(label)
+                            for label in row["statements"]
+                        ],
+                    )
+                )
+            elif row["verdict"] == "unknown":
+                self.statistics["undecided"] += 1
+        return reports
 
     def _make_report(self, query: PathQuery, result) -> BugReport:
         source_inst, sink_inst = query.source_inst, query.sink_inst

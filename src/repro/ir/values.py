@@ -16,6 +16,7 @@ from typing import Optional, Tuple
 __all__ = [
     "Value",
     "Variable",
+    "VariableNamer",
     "MemObject",
     "IntConstant",
     "NullConstant",
@@ -51,7 +52,45 @@ class Variable(Value):
 
 
 def fresh_variable(prefix: str, source_name: Optional[str] = None) -> Variable:
+    """A process-unique variable (name embeds a global counter).
+
+    Only for tests and ad-hoc construction.  Production lowering and
+    dataflow go through :class:`VariableNamer` so names are a pure
+    function of the source content — the counter here makes names depend
+    on everything lowered earlier in the process, which breaks cross-run
+    and cross-process identity of summaries and SMT atoms.
+    """
     return Variable(name=f"{prefix}.{next(_var_ids)}", source_name=source_name)
+
+
+class VariableNamer:
+    """Deterministic, content-derived SSA names for one naming scope.
+
+    Names are ``{scope}::{prefix}`` for the first request of a prefix
+    and ``{scope}::{prefix}#N`` for the N-th repeat — a pure function of
+    (scope, prefix, occurrence ordinal), so two processes lowering the
+    same source mint byte-identical names.  ``::`` and ``#`` cannot
+    occur in MiniCC identifiers, hence scopes can never collide with
+    each other or with legacy ``fresh_variable`` names (which use ``.``
+    plus a bare integer suffix on a counter that scoped names never
+    consume).
+
+    One namer per function (lowering) or per summary scope (dataflow);
+    never share a namer across functions, or names become order-dependent
+    again.
+    """
+
+    __slots__ = ("scope", "_counts")
+
+    def __init__(self, scope: str) -> None:
+        self.scope = scope
+        self._counts: dict = {}
+
+    def fresh(self, prefix: str, source_name: Optional[str] = None) -> Variable:
+        n = self._counts.get(prefix, 0)
+        self._counts[prefix] = n + 1
+        name = f"{self.scope}::{prefix}" if n == 0 else f"{self.scope}::{prefix}#{n}"
+        return Variable(name=name, source_name=source_name)
 
 
 @dataclass(frozen=True, eq=False)

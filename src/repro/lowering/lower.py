@@ -53,7 +53,7 @@ from ..ir.values import (
     SymbolicConstant,
     Value,
     Variable,
-    fresh_variable,
+    VariableNamer,
 )
 from ..smt.terms import (
     FALSE,
@@ -175,6 +175,7 @@ def lower_program_incremental(
         else:
             module.begin_label_block(i)
             lowered = _FunctionLowerer(module, func, func_names).lower()
+            lowered.content_key = fp
             module.functions[func.name] = lowered
             new_entries[func.name] = _CachedFunction(fp, i, lowered)
     if cache is not None:
@@ -243,6 +244,9 @@ class _FunctionLowerer:
         self.module = module
         self.func_ast = func
         self.func_names = func_names
+        # Content-derived SSA names scoped to this function: identical
+        # source lowers to identical names in any process.
+        self.namer = VariableNamer(func.name)
         self.out = IRFunction(name=func.name)
         self.guard: BoolTerm = TRUE
         # Source-level name -> current SSA value (top-level vars only).
@@ -301,7 +305,7 @@ class _FunctionLowerer:
     def lower(self) -> IRFunction:
         _collect_addr_taken(self.func_ast.body, self.addr_taken)
         for param in self.func_ast.params:
-            var = fresh_variable(param.name, source_name=param.name)
+            var = self.namer.fresh(param.name, source_name=param.name)
             self.out.params.append(var)
             if param.name in self.addr_taken:
                 # Parameter whose address is taken: spill to a stack slot.
@@ -326,7 +330,7 @@ class _FunctionLowerer:
             if obj is None:
                 obj = MemObject(f"{self.out.name}.{name}", "stack")
                 self.stack_objs[name] = obj
-        ptr = fresh_variable(f"addr.{name}")
+        ptr = self.namer.fresh(f"addr.{name}")
         saved_guard, self.guard = self.guard, TRUE  # address is unconditional
         self.emit(AddrOfInst, location, dst=ptr, obj=obj)
         self.guard = saved_guard
@@ -392,7 +396,7 @@ class _FunctionLowerer:
             self._lower_assign(stmt.name, stmt.init, stmt.location)
         else:
             # Uninitialized: an opaque value (no defining flow).
-            var = fresh_variable(stmt.name, source_name=stmt.name)
+            var = self.namer.fresh(stmt.name, source_name=stmt.name)
             self.env[stmt.name] = var
 
     def _lower_assign(self, name: str, value_expr: A.Expr, location: Location) -> None:
@@ -401,7 +405,7 @@ class _FunctionLowerer:
             ptr = self._slot_pointer(name, location)
             self.emit(StoreInst, location, pointer=ptr, value=value)
             return
-        dst = fresh_variable(name, source_name=name)
+        dst = self.namer.fresh(name, source_name=name)
         inst = self.emit(CopyInst, location, dst=dst, src=value)
         si = self._symint_of(value)
         if si is not None:
@@ -434,7 +438,7 @@ class _FunctionLowerer:
             if tv is ev:
                 merged[name] = tv
                 continue
-            dst = fresh_variable(name, source_name=name)
+            dst = self.namer.fresh(name, source_name=name)
             self.emit(
                 PhiInst,
                 stmt.location,
@@ -491,13 +495,13 @@ class _FunctionLowerer:
             return FunctionRef(name)
         if name in self.addr_taken or name in self.module.globals:
             ptr = self._slot_pointer(name, location)
-            dst = fresh_variable(f"ld.{name}")
+            dst = self.namer.fresh(f"ld.{name}")
             self.emit(LoadInst, location, dst=dst, pointer=ptr)
             return dst
         value = self.env.get(name)
         if value is None:
             # Read of a never-written variable: opaque value.
-            value = fresh_variable(name, source_name=name)
+            value = self.namer.fresh(name, source_name=name)
             self.env[name] = value
         return value
 
@@ -512,19 +516,19 @@ class _FunctionLowerer:
             return self._slot_pointer(expr.name, expr.location)
         if isinstance(expr, A.DerefExpr):
             ptr = self._lower_expr(expr.operand)
-            dst = fresh_variable("ld")
+            dst = self.namer.fresh("ld")
             self.emit(LoadInst, expr.location, dst=dst, pointer=ptr)
             return dst
         if isinstance(expr, A.IndexExpr):
             # Monolithic arrays: p[i] loads the whole object behind p.
             base = self._lower_expr(expr.base)
             self._lower_expr(expr.index)
-            dst = fresh_variable("ld")
+            dst = self.namer.fresh("ld")
             self.emit(LoadInst, expr.location, dst=dst, pointer=base)
             return dst
         if isinstance(expr, A.UnaryExpr):
             operand = self._lower_expr(expr.operand)
-            dst = fresh_variable("t")
+            dst = self.namer.fresh("t")
             if expr.op == "-":
                 self.emit(
                     BinOpInst, expr.location, dst=dst, op="-", lhs=IntConstant(0), rhs=operand
@@ -547,7 +551,7 @@ class _FunctionLowerer:
     def _lower_binary(self, expr: A.BinaryExpr) -> Value:
         if expr.op in ("&&", "||"):
             cond = self._lower_condition(expr)
-            dst = fresh_variable("t")
+            dst = self.namer.fresh("t")
             self.emit(
                 CmpInst, expr.location, dst=dst, op="!=", lhs=IntConstant(0), rhs=IntConstant(0)
             )
@@ -555,7 +559,7 @@ class _FunctionLowerer:
             return dst
         lhs = self._lower_expr(expr.lhs)
         rhs = self._lower_expr(expr.rhs)
-        dst = fresh_variable("t")
+        dst = self.namer.fresh("t")
         if expr.op in self._CMP_BUILDERS:
             self.emit(CmpInst, expr.location, dst=dst, op=expr.op, lhs=lhs, rhs=rhs)
             li, ri = self._symint_of(lhs), self._symint_of(rhs)
@@ -577,7 +581,7 @@ class _FunctionLowerer:
         name = expr.callee
         loc = expr.location
         if name == "malloc":
-            dst = fresh_variable("p")
+            dst = self.namer.fresh("p")
             inst = self.emit(AllocInst, loc, dst=dst, obj=None)
             inst.obj = MemObject(f"o{inst.label}", "heap")  # named by alloc site
             return dst
@@ -586,11 +590,11 @@ class _FunctionLowerer:
             self.emit(FreeInst, loc, pointer=ptr)
             return IntConstant(0)
         if name == "nondet":
-            dst = fresh_variable("nd")
+            dst = self.namer.fresh("nd")
             self.emit(SourceInst, loc, dst=dst, kind="nondet")
             return dst
         if name == "taint_source":
-            dst = fresh_variable("taint")
+            dst = self.namer.fresh("taint")
             self.emit(SourceInst, loc, dst=dst, kind="taint")
             return dst
         if name == "print":
@@ -609,7 +613,7 @@ class _FunctionLowerer:
             return IntConstant(0)
         callee = self._callee_value(name, loc)
         args = [self._lower_expr(a) for a in expr.args]
-        dst = None if effect_only else fresh_variable("ret")
+        dst = None if effect_only else self.namer.fresh("ret")
         self.emit(CallInst, loc, dst=dst, callee=callee, args=args)
         return dst if dst is not None else IntConstant(0)
 

@@ -54,7 +54,7 @@ from ..ir.values import (
     SymbolicConstant,
     Value,
     Variable,
-    fresh_variable,
+    VariableNamer,
 )
 from ..smt.terms import FALSE, TRUE, BoolTerm, and_, not_, or_
 from ..smt.simplify import quick_unsat
@@ -179,6 +179,21 @@ class DataDependenceAnalysis:
         #: of edge ordinals and site positions — the basis of the
         #: per-function value-flow summaries (:mod:`repro.vfg.summaries`).
         self.function_extents: Dict[str, Tuple[int, ...]] = {}
+
+    def __getstate__(self):
+        """Detection-sharding workers receive the finished analysis by
+        pickle; the tracer (holds a lock) and any in-progress journal are
+        parent-side concerns and do not cross the process boundary."""
+        state = dict(self.__dict__)
+        state["tracer"] = None
+        state["_journal"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        from ..obs.tracer import NULL_TRACER
+
+        self.__dict__.update(state)
+        self.tracer = NULL_TRACER
 
     # ----- public ---------------------------------------------------------
 
@@ -371,6 +386,10 @@ class DataDependenceAnalysis:
         summary = FunctionSummary(func=func)
         self.summaries[func.name] = summary
         content: Dict[MemObject, List[ContentEntry]] = {}
+        # Synthetic initial-value names are scoped to this function, so
+        # they are identical in every process analyzing the same source
+        # (journal replay reuses the recorded Variables and never mints).
+        self._namer = VariableNamer(f"in::{func.name}")
 
         # Formal pointees: each pointer parameter may reference memory the
         # caller owns; model it with one synthetic object whose initial
@@ -381,7 +400,7 @@ class DataDependenceAnalysis:
             summary.formal_pointees[i] = pointee
             self._pts_add(param, pointee, TRUE)
             self._add_edge(ObjNode(pointee), DefNode(param), TRUE, "alloc")
-            init = fresh_variable(f"in.{func.name}.arg{i}")
+            init = self._namer.fresh(f"arg{i}")
             summary.initial_values[pointee] = init
             content[pointee] = [ContentEntry(init, TRUE, None)]
 
@@ -399,7 +418,7 @@ class DataDependenceAnalysis:
         """Content list for an object first touched in this function."""
         entries = content.get(obj)
         if entries is None:
-            init = fresh_variable(f"in.{summary.func.name}.{obj.name}")
+            init = self._namer.fresh(obj.name)
             summary.initial_values[obj] = init
             entries = [ContentEntry(init, TRUE, None)]
             content[obj] = entries

@@ -332,6 +332,49 @@ def _fingerprint_chunk(chunk) -> List[Tuple[str, str]]:
     return results
 
 
+# ----- portable disk codec --------------------------------------------------
+
+
+def _encode_disk_summary(summary: FunctionVFSummary, schema: str) -> dict:
+    """The JSON disk entry for one summary.  Only portable content goes
+    to disk: the fingerprint plus the extent *shape* (relative counts)
+    used to validate a hit.  Site indexes and escape seeds are rebuilt
+    from the live dataflow on load — they index process-local objects."""
+    e0, e1, s0, s1, l0, l1, f0, f1 = summary.extent
+    return {
+        "schema": schema,
+        "name": summary.name,
+        "fingerprint": summary.fingerprint,
+        "shape": [e1 - e0, s1 - s0, l1 - l0, f1 - f0],
+    }
+
+
+def _decode_disk_summary(
+    entry, name: str, extent: Tuple[int, ...], dataflow, schema: str
+) -> Optional[FunctionVFSummary]:
+    """Reconstruct a summary from a disk entry, or ``None`` when the
+    entry is stale or malformed (schema drift, shape mismatch, hand-rolled
+    JSON) — every reject is just a cache miss."""
+    if not isinstance(entry, dict) or entry.get("schema") != schema:
+        return None
+    if entry.get("name") != name:
+        return None
+    fingerprint = entry.get("fingerprint")
+    if not isinstance(fingerprint, str) or len(fingerprint) != 64:
+        return None
+    e0, e1, s0, s1, l0, l1, f0, f1 = extent
+    if entry.get("shape") != [e1 - e0, s1 - s0, l1 - l0, f1 - f0]:
+        return None
+    return FunctionVFSummary(
+        name=name,
+        fingerprint=fingerprint,
+        extent=extent,
+        ptr_stores=_site_index(dataflow.all_stores, s0, s1),
+        ptr_loads=_site_index(dataflow.all_loads, l0, l1),
+        escape_seeds=list(dataflow.fork_escaped[f0:f1]),
+    )
+
+
 # ----- sharded computation --------------------------------------------------
 
 
@@ -423,6 +466,7 @@ def compute_summaries(
     *,
     store=None,
     lineage_key: str = "",
+    config_key: str = "",
     workers: int = 1,
     backend: str = "process",
     metrics=None,
@@ -430,16 +474,34 @@ def compute_summaries(
 ) -> SummaryIndex:
     """Build (or reuse) the per-function summaries for one Alg. 1 run.
 
-    Reuse rule: a function whose dataflow pass was a journal *replay*
-    (``function_trace`` status ``cached``) produced byte-identical edges
-    and sites, so its persisted summary is valid iff its extent matches
-    — a single-function edit therefore recomputes exactly the summaries
-    of re-run functions.
+    Memory reuse rule: a function whose dataflow pass was a journal
+    *replay* (``function_trace`` status ``cached``) produced
+    byte-identical edges and sites, so its persisted summary is valid iff
+    its extent matches — a single-function edit therefore recomputes
+    exactly the summaries of re-run functions.
+
+    Disk reuse (when the store routes the ``vfs`` namespace to a
+    directory and ``config_key`` is given): functions whose portable
+    identity key (:func:`repro.analysis.fingerprint.summary_identity_keys`)
+    matches a schema-valid disk entry skip the expensive
+    encode+fingerprint step entirely — the fingerprint comes from disk,
+    the site indexes and escape seeds rebuild cheaply from the live
+    dataflow.  Deterministic SSA naming makes those fingerprints valid in
+    any process, which is what lets summaries survive restarts.
     """
 
     def _count(name: str, delta: int = 1) -> None:
         if metrics is not None:
             metrics.counter(f"summary.{name}").add(delta)
+
+    identity: Dict[str, str] = {}
+    schema = ""
+    if store is not None and config_key and getattr(store, "has_disk", None):
+        if store.has_disk("vfs"):
+            from ..analysis.fingerprint import SUMMARY_SCHEMA, summary_identity_keys
+
+            schema = SUMMARY_SCHEMA
+            identity = summary_identity_keys(dataflow, config_key)
 
     statuses = {name: status for name, status, _seconds in dataflow.function_trace}
     summaries: Dict[str, FunctionVFSummary] = {}
@@ -450,6 +512,14 @@ def compute_summaries(
             entry = store.get("summary", (lineage_key, name))
             if isinstance(entry, FunctionVFSummary) and entry.extent == extent:
                 reused = entry
+        if reused is None and name in identity:
+            decoded = _decode_disk_summary(
+                store.get_disk("vfs", identity[name]), name, extent, dataflow, schema
+            )
+            if decoded is not None:
+                reused = decoded
+                store.put("summary", (lineage_key, name), decoded)
+                _count("disk_hits")
         if reused is not None:
             summaries[name] = reused
             _count("cache_hits")
@@ -471,6 +541,9 @@ def compute_summaries(
         summaries[name] = summary
         if store is not None:
             store.put("summary", (lineage_key, name), summary)
+        if name in identity:
+            store.put_disk("vfs", identity[name], _encode_disk_summary(summary, schema))
+            _count("disk_stores")
         _count("computed")
     _count("functions", len(summaries))
     if metrics is not None:

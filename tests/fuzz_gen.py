@@ -158,3 +158,50 @@ def scaled_program(
         lines.append(f"    print(*v{g});")
     lines.append("}")
     return "\n".join(lines) + "\n"
+
+
+def detection_scaled_program(
+    n_threads: int = 64,
+    n_slots: int = 3,
+    pad_functions: int = 0,
+) -> str:
+    """The detection-heavy companion to :func:`scaled_program`: every
+    writer thread republishes-and-frees on every shared slot, so each
+    slot has ``n_threads`` interfering stores and every candidate's SMT
+    order constraints grow with that count — the detect phase dominates
+    the run instead of the summary phase.
+
+    ``pad_functions`` adds trivial integer helpers (called from main) to
+    hit a target module size without changing the detection load; the
+    sharding benchmark pads to the standard 721-function subject
+    (``n_threads + pad_functions + 1`` functions).  Deterministic: no
+    randomness, bug keys depend only on the parameters.
+    """
+    lines: List[str] = ["extern int mode;", ""]
+    for t in range(n_threads):
+        lines.append(f"void wt{t}(int** s) {{")
+        lines.append(f"    int* b{t} = malloc();")
+        lines.append(f"    *s = b{t};")
+        lines.append(f"    free(b{t});")
+        lines.append("}")
+        lines.append("")
+    for p in range(pad_functions):
+        lines.append(f"void pad{p}(int x) {{")
+        lines.append(f"    int y{p} = x + {p};")
+        lines.append(f"    print(y{p});")
+        lines.append("}")
+        lines.append("")
+    lines.append("void main() {")
+    for s in range(n_slots):
+        lines.append(f"    int** slot{s} = malloc();")
+        lines.append(f"    int* init{s} = malloc();")
+        lines.append(f"    *slot{s} = init{s};")
+        for t in range(n_threads):
+            lines.append(f"    fork(t{s}_{t}, wt{t}, slot{s});")
+    for p in range(pad_functions):
+        lines.append(f"    pad{p}({p});")
+    for s in range(n_slots):
+        lines.append(f"    int* v{s} = *slot{s};")
+        lines.append(f"    print(*v{s});")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

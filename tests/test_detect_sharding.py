@@ -1,0 +1,149 @@
+"""Per-sink detection sharding (:mod:`repro.detection.search` +
+:class:`repro.checkers.base.SourceSinkChecker`).
+
+The contract is byte-identical results: a sharded detection phase must
+report the same bug keys, the same witness paths, and the same search
+statistics as the serial phase at every worker count, because every
+worker runs the *unrestricted* DFS and filters only at emission, so the
+(idx, seq) ordinal each candidate carries is its true serial position.
+Degradation: a dying shard pool falls back to the in-process path with
+findings intact.
+"""
+
+import pytest
+
+from repro import AnalysisConfig, Canary
+from repro.detection.search import partition_sink_labels
+from repro.testing import faults
+from repro.testing.faults import FaultPlan, inject
+
+from fuzz_gen import detection_scaled_program, scaled_program
+from test_corpus import CORPUS_FILES, _parse_directives
+
+SCALED = scaled_program(n_groups=10, helpers_per_group=2)
+DETECT_HEAVY = detection_scaled_program(n_threads=8, n_slots=2, pad_functions=4)
+
+SHARDING_CORPUS = [
+    p
+    for p in CORPUS_FILES
+    if p.stem
+    in {
+        "mixed_all_checkers",
+        "doublefree_cross_thread",
+        "uaf_sibling_threads",
+        "nullderef_shared",
+        "leak_shared_memory",
+        "uaf_guarded_infeasible",
+    }
+]
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    yield
+    faults.clear()
+
+
+def _keys(report):
+    return sorted(b.key for b in report.bugs)
+
+
+def _paths(report):
+    return sorted((b.key, tuple(b.path)) for b in report.bugs)
+
+
+def _run(text, **overrides):
+    overrides.setdefault("use_cache", False)
+    return Canary(AnalysisConfig(**overrides)).analyze_source(text)
+
+
+class TestPartition:
+    def test_round_robin_is_deterministic_and_disjoint(self):
+        labels = [9, 3, 7, 1, 4, 4, 8]
+        shards = partition_sink_labels(labels, 3)
+        assert shards == partition_sink_labels(reversed(labels), 3)
+        flat = sorted(l for shard in shards for l in shard)
+        assert flat == sorted(set(labels))
+
+    def test_empty_buckets_dropped(self):
+        assert partition_sink_labels([5], 4) == [(5,)]
+        assert partition_sink_labels([], 4) == []
+
+    def test_single_shard(self):
+        assert partition_sink_labels([2, 1], 1) == [(1, 2)]
+
+
+class TestExactness:
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_scaled_subject_equal_at_every_width(self, workers):
+        ref = _run(SCALED)
+        rep = _run(SCALED, detect_workers=workers, solver_backend="process")
+        assert _keys(rep) == _keys(ref)
+        assert _paths(rep) == _paths(ref)
+        assert rep.vfg_summary == ref.vfg_summary
+        assert rep.metrics.snapshot().get("detect.shards", 0) >= 2
+
+    def test_detection_heavy_subject(self):
+        ref = _run(DETECT_HEAVY)
+        rep = _run(DETECT_HEAVY, detect_workers=4, solver_backend="process")
+        assert _keys(rep) == _keys(ref)
+        assert _paths(rep) == _paths(ref)
+        # Shard workers' search statistics are adopted, not summed: the
+        # sharded report describes the same single search.
+        assert rep.search_statistics == ref.search_statistics
+
+    @pytest.mark.parametrize(
+        "path", SHARDING_CORPUS, ids=[p.stem for p in SHARDING_CORPUS]
+    )
+    def test_corpus_keys_equal(self, path):
+        text = path.read_text()
+        _expects, checkers, config = _parse_directives(text)
+        base = dict(config, checkers=checkers, use_cache=False)
+        ref = Canary(AnalysisConfig(**base)).analyze_source(text)
+        rep = Canary(
+            AnalysisConfig(**base, detect_workers=3, solver_backend="process")
+        ).analyze_source(text)
+        assert _keys(rep) == _keys(ref)
+        assert _paths(rep) == _paths(ref)
+
+    def test_thread_backend_stays_in_process(self):
+        # Sharding requires the process backend; the thread backend keeps
+        # the serial path (and its results) untouched.
+        rep = _run(SCALED, detect_workers=4, solver_backend="thread")
+        assert "detect.shards" not in rep.metrics.snapshot()
+        assert _keys(rep) == _keys(_run(SCALED))
+
+    def test_suppressed_diagnostics_bypass_sharding(self):
+        ref = _run(SCALED, collect_suppressed=True)
+        rep = _run(
+            SCALED,
+            collect_suppressed=True,
+            detect_workers=4,
+            solver_backend="process",
+        )
+        assert "detect.shards" not in rep.metrics.snapshot()
+        assert _keys(rep) == _keys(ref)
+        assert sorted(s.key for s in rep.suppressed) == sorted(
+            s.key for s in ref.suppressed
+        )
+
+
+class TestDegradation:
+    def test_shard_pool_death_falls_back(self):
+        ref = _run(SCALED)
+        with inject(FaultPlan.make(die=["worker:detect"])):
+            rep = _run(SCALED, detect_workers=4, solver_backend="process")
+        assert _keys(rep) == _keys(ref)
+        assert _paths(rep) == _paths(ref)
+        snap = rep.metrics.snapshot()
+        assert snap.get("solver.pool_failures", 0) >= 1
+        assert any("worker failure" in w for w in rep.degradation_warnings)
+
+    def test_shard_pool_death_die_once(self, tmp_path):
+        ref = _run(SCALED)
+        plan = FaultPlan.make(
+            die=["worker:detect"], die_once_path=str(tmp_path / "died")
+        )
+        with inject(plan):
+            rep = _run(SCALED, detect_workers=4, solver_backend="process")
+        assert _keys(rep) == _keys(ref)

@@ -163,6 +163,84 @@ class TestArtifactRoundTrip:
         assert total_span <= dataflow.vfg.num_edges
 
 
+class TestDiskNamespace:
+    """The portable on-disk summary namespace: entries keyed by
+    content-derived identity, shared across independent processes."""
+
+    def _vfs_files(self, directory):
+        import glob
+        import os
+
+        return sorted(glob.glob(os.path.join(str(directory), "vfs-*.json")))
+
+    def test_roundtrip_across_instances(self, tmp_path):
+        d = str(tmp_path)
+        cold = Canary(AnalysisConfig(cache_dir=d, summary_cache_dir=d)).analyze_source(
+            SUBJECT
+        )
+        snap = cold.metrics.snapshot()
+        assert snap["summary.disk_stores"] == 3
+        assert len(self._vfs_files(tmp_path)) == 3
+        # A *fresh* instance (fresh in-memory store — stands in for a new
+        # process) analyzing an edited source: the run digest misses, but
+        # every unchanged function rehydrates from disk.
+        warm = Canary(AnalysisConfig(cache_dir=d, summary_cache_dir=d)).analyze_source(
+            SUBJECT_EDITED
+        )
+        snap2 = warm.metrics.snapshot()
+        assert snap2["summary.disk_hits"] == 2
+        assert snap2["summary.computed"] == 1
+        ref = _run(SUBJECT_EDITED)
+        assert _keys(warm) == _keys(ref)
+        assert warm.vfg_summary == ref.vfg_summary
+
+    def test_corrupt_entries_recompute_and_heal(self, tmp_path):
+        d = str(tmp_path)
+        Canary(AnalysisConfig(cache_dir=d, summary_cache_dir=d)).analyze_source(SUBJECT)
+        for path in self._vfs_files(tmp_path):
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write("{truncated by a killed writer")
+        rep = Canary(AnalysisConfig(cache_dir=d, summary_cache_dir=d)).analyze_source(
+            SUBJECT_EDITED
+        )
+        snap = rep.metrics.snapshot()
+        # The two unchanged functions were requested, found corrupt, and
+        # recomputed — never a run failure, never a wrong answer.
+        assert rep.cache_statistics["disk_corrupt"] == 2
+        assert snap.get("summary.disk_hits", 0) == 0
+        assert snap["summary.computed"] == 3
+        assert _keys(rep) == _keys(_run(SUBJECT_EDITED))
+        # Recomputation heals every requested entry in place.
+        import json
+
+        healed = 0
+        for path in self._vfs_files(tmp_path):
+            try:
+                json.load(open(path, encoding="utf-8"))
+                healed += 1
+            except ValueError:
+                pass
+        assert healed >= 3
+
+    def test_summary_cache_dir_routes_vfs_entries(self, tmp_path):
+        runs = tmp_path / "runs"
+        sums = tmp_path / "sums"
+        runs.mkdir()
+        sums.mkdir()
+        Canary(
+            AnalysisConfig(cache_dir=str(runs), summary_cache_dir=str(sums))
+        ).analyze_source(SUBJECT)
+        assert len(self._vfs_files(sums)) == 3
+        assert not self._vfs_files(runs)
+
+    def test_disk_layer_inactive_without_cache(self, tmp_path):
+        rep = _run(SUBJECT)  # use_cache=False
+        snap = rep.metrics.snapshot()
+        assert "summary.disk_stores" not in snap
+        assert "summary.disk_hits" not in snap
+        assert not self._vfs_files(tmp_path)
+
+
 class TestDegradation:
     def test_pool_death_falls_back_to_threads(self):
         ref = _run(SCALED, summaries=False)
