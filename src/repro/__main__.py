@@ -15,6 +15,14 @@ from .obs import Tracer, write_chrome_trace, write_metrics_json, write_trace_ndj
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        # ``repro serve``: the long-lived analysis daemon.  Dispatched
+        # before the batch parser so the positional-files grammar of the
+        # one-shot CLI stays untouched.
+        from .server.app import serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Canary (PLDI 2021) reproduction — inter-thread value-flow bug detector",

@@ -3,10 +3,12 @@
 Two layers:
 
 * an **in-memory layer** scoped to one :class:`~repro.analysis.driver.Canary`
-  instance.  It holds *live* objects — lowered functions, dataflow
-  journals, the pointer/thread-structure triple, per-checker detection
-  results — keyed by content fingerprints plus object-identity validity
-  conditions checked at reuse time;
+  instance (or, in daemon mode, shared by every request of a
+  :class:`~repro.server.service.AnalysisService`).  It holds *live*
+  objects — lowered functions, dataflow journals, the pointer/thread-
+  structure triple, per-checker detection results — keyed by content
+  fingerprints plus object-identity validity conditions checked at
+  reuse time;
 * an optional **on-disk layer** (``cache_dir``) holding portable,
   JSON-encoded whole-run reports keyed by the source text, filename and
   config hash, so a warm re-run in a fresh process is near-instant.
@@ -15,6 +17,15 @@ The store also owns the cross-run solver caches: one
 :class:`~repro.detection.realizability.VerdictCache` (Φ_all → verdict)
 and one :class:`~repro.detection.reachability.ReachabilityIndexCache`,
 both shared by every run of the owning driver.
+
+Thread-safety: all counters, the event log and the memory layer are
+guarded by one reentrant lock, so concurrent pipelines (the daemon's
+worker pool) can share a store.  Mutable lineage-keyed artifacts
+(lowering caches, dataflow journals) additionally need the per-lineage
+lock (:meth:`lineage_lock`) held for the duration of a run — the
+pipeline acquires it, so two concurrent requests for the *same* file
+serialize (and the second one rides the incremental path) while
+distinct files analyze in parallel.
 """
 
 from __future__ import annotations
@@ -22,6 +33,8 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..detection.reachability import ReachabilityIndexCache
@@ -37,23 +50,48 @@ class ArtifactStore:
         self,
         cache_dir: Optional[str] = None,
         summary_cache_dir: Optional[str] = None,
+        max_memory_entries: Optional[int] = None,
+        max_events: Optional[int] = None,
+        index_capacity: int = 32,
     ) -> None:
         self.cache_dir = cache_dir
         #: dedicated home of the per-function summary namespace (``vfs``);
         #: falls back to ``cache_dir`` when unset, so plain ``--cache-dir``
         #: runs persist summaries alongside whole-run reports
         self.summary_cache_dir = summary_cache_dir
-        self._memory: Dict[Tuple[str, Any], Any] = {}
+        #: LRU bound on the memory layer (None = unbounded, the one-shot
+        #: CLI default; the daemon sets a cap so a resident store cannot
+        #: grow without bound across tenants)
+        self.max_memory_entries = max_memory_entries
+        #: bound on the event log (None = unbounded); a resident daemon
+        #: trims the oldest half past the cap, so ``explain_cache`` output
+        #: may be truncated there — a debugging aid, never load-bearing
+        self.max_events = max_events
+        self._memory: "OrderedDict[Tuple[str, Any], Any]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._lineage_locks: Dict[Any, threading.RLock] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         #: disk entries that existed but failed to decode (truncated or
         #: corrupt JSON) — counted, treated as misses, never raised
         self.disk_corrupt = 0
+        #: disk writes that failed (full disk, permissions, torn rename) —
+        #: counted and noted, never raised: the cache stays a cache, but
+        #: the failure is visible in ``--stats``/metrics instead of silent
+        self.disk_store_errors = 0
+        #: disk writes skipped because the value is not strictly JSON-
+        #: serializable — persisting a lossy ``default=str`` rendering
+        #: would rehydrate as a *different* value later, which is worse
+        #: than no cache entry at all
+        self.disk_unportable = 0
         self.events: List[str] = []
         #: Φ_all → verdict memo shared across runs (PR 1)
         self.verdict_cache = VerdictCache()
-        #: sink-set → backward reachability index memo shared across runs (PR 2)
-        self.index_cache = ReachabilityIndexCache()
+        #: sink-set → backward reachability index memo shared across runs
+        #: (PR 2); LRU-bounded, so a resident daemon keeps hot sink
+        #: classes warm instead of periodically losing the whole cache
+        self.index_cache = ReachabilityIndexCache(capacity=index_capacity)
         for directory in (cache_dir, summary_cache_dir):
             if directory:
                 os.makedirs(directory, exist_ok=True)
@@ -61,39 +99,77 @@ class ArtifactStore:
     # ----- event log ------------------------------------------------------
 
     def note(self, event: str) -> None:
-        self.events.append(event)
+        with self._lock:
+            self.events.append(event)
+            if self.max_events is not None and len(self.events) > self.max_events:
+                del self.events[: len(self.events) // 2]
 
     def statistics(self) -> Dict[str, int]:
-        return {
-            "artifact_hits": self.hits,
-            "artifact_misses": self.misses,
-            "artifacts_stored": len(self._memory),
-            "disk_corrupt": self.disk_corrupt,
-        }
+        with self._lock:
+            stats = {
+                "artifact_hits": self.hits,
+                "artifact_misses": self.misses,
+                "artifacts_stored": len(self._memory),
+                "disk_corrupt": self.disk_corrupt,
+            }
+            if self.disk_store_errors:
+                stats["disk_store_errors"] = self.disk_store_errors
+            if self.disk_unportable:
+                stats["disk_unportable"] = self.disk_unportable
+            if self.evictions:
+                stats["artifact_evictions"] = self.evictions
+            return stats
+
+    # ----- concurrency ----------------------------------------------------
+
+    def lineage_lock(self, lineage: Any) -> threading.RLock:
+        """The per-lineage run lock: held by a pipeline for the duration
+        of a cached analysis of ``lineage``, serializing mutation of the
+        lineage-keyed live artifacts (lowering cache, dataflow journal,
+        thread triple) between concurrent requests for the same file."""
+        with self._lock:
+            lock = self._lineage_locks.get(lineage)
+            if lock is None:
+                lock = self._lineage_locks[lineage] = threading.RLock()
+            return lock
 
     # ----- in-memory layer -------------------------------------------------
 
     def get(self, namespace: str, key: Any) -> Optional[Any]:
-        value = self._memory.get((namespace, key))
-        if value is None:
-            self.misses += 1
-            self.note(f"miss {namespace}")
-        else:
-            self.hits += 1
-            self.note(f"hit {namespace}")
+        with self._lock:
+            value = self._memory.get((namespace, key))
+            if value is None:
+                self.misses += 1
+            else:
+                self._memory.move_to_end((namespace, key))
+                self.hits += 1
+        self.note(f"{'hit' if value is not None else 'miss'} {namespace}")
         return value
 
     def put(self, namespace: str, key: Any, value: Any) -> Any:
-        self._memory[(namespace, key)] = value
+        with self._lock:
+            self._memory[(namespace, key)] = value
+            self._memory.move_to_end((namespace, key))
+            self._evict_over_cap()
         self.note(f"store {namespace}")
         return value
 
     def setdefault(self, namespace: str, key: Any, factory) -> Any:
-        value = self._memory.get((namespace, key))
-        if value is None:
-            value = factory()
-            self._memory[(namespace, key)] = value
-        return value
+        with self._lock:
+            value = self._memory.get((namespace, key))
+            if value is None:
+                value = self._memory[(namespace, key)] = factory()
+            self._memory.move_to_end((namespace, key))
+            self._evict_over_cap()
+            return value
+
+    def _evict_over_cap(self) -> None:
+        # caller holds self._lock
+        if self.max_memory_entries is None:
+            return
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.evictions += 1
 
     # ----- on-disk layer -----------------------------------------------------
 
@@ -119,18 +195,21 @@ class ArtifactStore:
             with open(path, encoding="utf-8") as fh:
                 value = json.load(fh)
         except OSError:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             self.note(f"miss disk:{namespace}")
             return None
         except ValueError:
             # The file exists but does not decode: a truncated write from
             # a killed process, or external corruption.  A cache must
             # never turn that into a run failure — count it and recompute.
-            self.disk_corrupt += 1
-            self.misses += 1
+            with self._lock:
+                self.disk_corrupt += 1
+                self.misses += 1
             self.note(f"corrupt disk:{namespace}")
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         self.note(f"hit disk:{namespace}")
         return value
 
@@ -138,26 +217,47 @@ class ArtifactStore:
         path = self._disk_path(namespace, digest)
         if path is None:
             return
+        # Strict serialization first: a payload that only encodes through
+        # ``default=str`` would rehydrate as a *different* value (labels
+        # stringified, tuples listified beyond the documented schema), so
+        # skip the store and count it rather than persist a lie.
+        try:
+            encoded = json.dumps(value)
+        except (TypeError, ValueError):
+            with self._lock:
+                self.disk_unportable += 1
+            self.note(f"unportable disk:{namespace}")
+            return
         # Atomic publish: the temp file lives in the destination directory
         # (same filesystem, so ``os.replace`` is atomic) and a concurrent
         # reader sees the old file or the new one, never a torn write.
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        except OSError:
+            with self._lock:
+                self.disk_store_errors += 1
+            self.note(f"store-error disk:{namespace}")
+            return
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(value, fh, default=str)
+                fh.write(encoded)
             os.replace(tmp, path)
         except OSError:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+            with self._lock:
+                self.disk_store_errors += 1
+            self.note(f"store-error disk:{namespace}")
             return
         self.note(f"store disk:{namespace}")
 
     # ----- housekeeping -------------------------------------------------------
 
     def begin_run(self) -> None:
-        """Bound cross-run growth of the shared reachability cache: old
-        entries are keyed by dead VFGs and can never hit again."""
-        if len(self.index_cache) > 32:
-            self.index_cache = ReachabilityIndexCache()
+        """Per-run housekeeping hook.  The reachability cache bounds
+        itself by LRU eviction (entries keyed by dead VFG versions age
+        out naturally), so — unlike the pre-LRU behavior, which
+        discarded the *whole* cache past a size threshold and zeroed the
+        daemon's hit rate — nothing is reset here."""

@@ -29,7 +29,27 @@ from __future__ import annotations
 import time
 from typing import Callable, List, Optional
 
-__all__ = ["Budget"]
+__all__ = ["Budget", "BudgetExceededError"]
+
+
+class BudgetExceededError(Exception):
+    """Control-flow exception for hard budget expiry / cancellation.
+
+    Raised by callers that need a run to *unwind now* — the daemon's
+    request cancellation, or a fault-injected hard expiry — rather than
+    wind down cooperatively.  It is deliberately **not** a degradation:
+    the pass-isolation catches in :mod:`repro.analysis.passes` re-raise
+    it (alongside ``KeyboardInterrupt``-family interrupts, which never
+    match ``except Exception`` in the first place) instead of converting
+    the unwind into a ``degradation_warnings`` entry, so a cancelled run
+    fails loudly instead of masquerading as a degraded-but-complete
+    report.
+    """
+
+    def __init__(self, where: str = "", reason: str = "budget exceeded") -> None:
+        super().__init__(f"{reason} at {where}" if where else reason)
+        self.where = where
+        self.reason = reason
 
 
 class Budget:
@@ -57,6 +77,9 @@ class Budget:
         )
         #: observation points at which expiry was noticed (for reports)
         self.expirations: List[str] = []
+        #: external cancellation reason (daemon shutdown, client abort);
+        #: a cancelled budget reads as expired at every observation point
+        self.cancelled: Optional[str] = None
 
     @classmethod
     def from_config(cls, config) -> "Budget":
@@ -82,12 +105,21 @@ class Budget:
 
     def remaining(self) -> Optional[float]:
         """Seconds until the wall deadline (never negative); None = unlimited."""
+        if self.cancelled is not None:
+            return 0.0
         if self._deadline is None:
             return None
         return max(0.0, self._deadline - self._clock())
 
     def expired(self) -> bool:
+        if self.cancelled is not None:
+            return True
         return self._deadline is not None and self._clock() >= self._deadline
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Externally cancel the run: every subsequent cooperative check
+        observes expiry and the run winds down with partial results."""
+        self.cancelled = reason
 
     def note_expired(self, where: str) -> bool:
         """Cooperative check: record the observation point on expiry."""

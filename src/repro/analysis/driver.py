@@ -312,6 +312,19 @@ class Canary:
 
         return AnalysisPipeline(self.config, self.store, tracer=self.tracer)
 
+    def with_config(self, config: AnalysisConfig) -> "Canary":
+        """A sibling driver sharing this one's artifact store.
+
+        The request-isolation primitive of the analysis daemon: each
+        request gets its own (immutable) config — and thus its own
+        budget, checkers and knobs — while every run digs into the same
+        resident store.  Content keys embed the config hash, so two
+        configs never alias each other's artifacts.  ``analyze_*`` calls
+        are thread-safe across siblings: the store locks its layers and
+        serializes same-file runs on a per-lineage lock.
+        """
+        return Canary(config, store=self.store, tracer=self.tracer)
+
     # ----- pipeline entry points ---------------------------------------------
 
     def analyze_source(

@@ -55,7 +55,7 @@ from ..vfg.summaries import SummaryIndex, compute_summaries
 from ..frontend import FrontendError
 from ..testing.faults import fault_point
 from .artifacts import ArtifactStore
-from .budget import Budget
+from .budget import Budget, BudgetExceededError
 from .config import AnalysisConfig
 from .driver import AnalysisReport
 from .fingerprint import (
@@ -129,6 +129,13 @@ class PassManager:
             with self.tracer.span(f"pass:{name}"):
                 fault_point(f"pass:{name}")
                 result = fn()
+        except BudgetExceededError:
+            # Hard budget expiry / cancellation is control flow, not a
+            # pass crash: converting it into a ``failed`` row plus a
+            # degradation warning would report a cancelled run as a
+            # degraded-but-complete one.  (KeyboardInterrupt and friends
+            # are BaseException and never matched here to begin with.)
+            raise
         except Exception as exc:
             seconds = time.perf_counter() - t0
             self.records.append(
@@ -210,6 +217,20 @@ class AnalysisPipeline:
     def _analyze_source(
         self, source: str, filename: str, track_memory: bool
     ) -> AnalysisReport:
+        caching = self.config.use_cache and not track_memory
+        if caching and filename:
+            # Serialize concurrent runs of the *same* lineage: the live
+            # lineage-keyed artifacts (lowering cache, dataflow journal,
+            # thread triple) are mutated in place, so a second request
+            # for the file waits — and then rides the warm/incremental
+            # path.  Distinct files analyze fully in parallel.
+            with self.store.lineage_lock(filename):
+                return self._analyze_source_inner(source, filename, track_memory)
+        return self._analyze_source_inner(source, filename, track_memory)
+
+    def _analyze_source_inner(
+        self, source: str, filename: str, track_memory: bool
+    ) -> AnalysisReport:
         cfg = self.config
         caching = cfg.use_cache and not track_memory
         self.store.begin_run()
@@ -224,6 +245,8 @@ class AnalysisPipeline:
             module = self._lower(ast, filename, caching)
         except FrontendError:
             raise  # malformed input is the caller's problem, not degradation
+        except BudgetExceededError:
+            raise  # hard cancellation unwinds; it is not a frontend crash
         except Exception as exc:
             # An internal frontend crash (or an injected fault) still
             # yields a well-formed — empty, degraded — report.
@@ -481,6 +504,8 @@ class AnalysisPipeline:
             with self.tracer.span("pass:dataflow"):
                 fault_point("pass:dataflow")
                 dataflow.run(journal)
+        except BudgetExceededError:
+            raise  # hard cancellation unwinds; never a degradation warning
         except Exception as exc:
             pm.record("dataflow", "failed", 0.0, f"{type(exc).__name__}: {exc}")
             pm.warn(

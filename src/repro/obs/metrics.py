@@ -215,6 +215,49 @@ class MetricsRegistry:
                             seen[v] = None
         return list(seen)
 
+    def merge(self, other: "MetricsRegistry", prefix: str = "") -> None:
+        """Fold another registry into this one (per-request scoping).
+
+        Each analysis run owns a private registry; a long-lived server
+        folds every finished run into its aggregate so ``/metrics``
+        reflects cumulative traffic while per-report registries stay
+        isolated.  Counters accumulate, gauges take the newer value,
+        histograms merge their summaries; series (the pass table) are
+        per-run by nature and deliberately not merged.  ``prefix`` (e.g.
+        ``"runs."``) namespaces the folded instruments.
+        """
+        with other._lock:
+            counters = [(c.name, c.labels, c.value) for c in other._counters.values()]
+            gauges = [(g.name, g.labels, g.value) for g in other._gauges.values()]
+            hists = [
+                (h.name, h.labels, h.count, h.total, h.min, h.max)
+                for h in other._histograms.values()
+            ]
+        with self._lock:
+            for name, labels, value in counters:
+                key = (prefix + name, labels)
+                inst = self._counters.get(key)
+                if inst is None:
+                    inst = self._counters[key] = Counter(key[0], labels)
+                inst.add(value)
+            for name, labels, value in gauges:
+                key = (prefix + name, labels)
+                inst = self._gauges.get(key)
+                if inst is None:
+                    inst = self._gauges[key] = Gauge(key[0], labels)
+                inst.set(value)
+            for name, labels, count, total, mn, mx in hists:
+                key = (prefix + name, labels)
+                hist = self._histograms.get(key)
+                if hist is None:
+                    hist = self._histograms[key] = Histogram(key[0], labels)
+                hist.count += count
+                hist.total += total
+                if mn is not None:
+                    hist.min = mn if hist.min is None else min(hist.min, mn)
+                if mx is not None:
+                    hist.max = mx if hist.max is None else max(hist.max, mx)
+
     def clear_namespace(self, prefix: str) -> None:
         dot = prefix + "."
         with self._lock:

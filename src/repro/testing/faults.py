@@ -76,6 +76,12 @@ class FaultPlan:
     crash: FrozenSet[str] = frozenset()
     stall: FrozenSet[str] = frozenset()
     die: FrozenSet[str] = frozenset()
+    #: raise ``KeyboardInterrupt`` — control flow that must *propagate*
+    #: out of the pipeline (degradation catches never swallow it)
+    interrupt: FrozenSet[str] = frozenset()
+    #: raise :class:`~repro.analysis.budget.BudgetExceededError` — a hard
+    #: budget unwind that must likewise propagate, never degrade
+    cancel: FrozenSet[str] = frozenset()
     stall_seconds: float = 0.2
     #: when set, a ``die`` point kills only the first worker to reach it
     #: (the path file is the cross-process "already died" token)
@@ -86,6 +92,8 @@ class FaultPlan:
         crash: Iterable[str] = (),
         stall: Iterable[str] = (),
         die: Iterable[str] = (),
+        interrupt: Iterable[str] = (),
+        cancel: Iterable[str] = (),
         stall_seconds: float = 0.2,
         die_once_path: Optional[str] = None,
     ) -> "FaultPlan":
@@ -93,6 +101,8 @@ class FaultPlan:
             crash=frozenset(crash),
             stall=frozenset(stall),
             die=frozenset(die),
+            interrupt=frozenset(interrupt),
+            cancel=frozenset(cancel),
             stall_seconds=stall_seconds,
             die_once_path=die_once_path,
         )
@@ -105,6 +115,8 @@ class FaultPlan:
                 "crash": sorted(self.crash),
                 "stall": sorted(self.stall),
                 "die": sorted(self.die),
+                "interrupt": sorted(self.interrupt),
+                "cancel": sorted(self.cancel),
                 "stall_seconds": self.stall_seconds,
                 "die_once_path": self.die_once_path,
             }
@@ -117,12 +129,14 @@ class FaultPlan:
             crash=data.get("crash", ()),
             stall=data.get("stall", ()),
             die=data.get("die", ()),
+            interrupt=data.get("interrupt", ()),
+            cancel=data.get("cancel", ()),
             stall_seconds=data.get("stall_seconds", 0.2),
             die_once_path=data.get("die_once_path"),
         )
 
     def points(self) -> FrozenSet[str]:
-        return self.crash | self.stall | self.die
+        return self.crash | self.stall | self.die | self.interrupt | self.cancel
 
 
 @dataclass
@@ -196,14 +210,15 @@ def _active_plan() -> Optional[FaultPlan]:
 def fault_point(name: str) -> None:
     """A named hook on a production code path; no-op unless a plan arms it.
 
-    Ordering on a multiply-armed point: die, then stall, then crash — so
-    a single point can model "slow, then fails" by arming stall+crash.
+    Ordering on a multiply-armed point: die, then stall, then
+    interrupt/cancel, then crash — so a single point can model "slow,
+    then fails" by arming stall+crash.
     """
     plan = _active_plan()
     if plan is None:
         return
     in_worker = os.getpid() != _MAIN_PID
-    armed = name in plan.die or name in plan.stall or name in plan.crash
+    armed = name in plan.points()
     if not armed:
         return
     with _lock:
@@ -224,6 +239,12 @@ def fault_point(name: str) -> None:
             os._exit(DIE_EXIT_CODE)
     if name in plan.stall:
         time.sleep(plan.stall_seconds)
+    if name in plan.interrupt:
+        raise KeyboardInterrupt(f"injected interrupt at {name!r}")
+    if name in plan.cancel:
+        from ..analysis.budget import BudgetExceededError
+
+        raise BudgetExceededError(where=name, reason="injected budget expiry")
     if name in plan.crash:
         raise FaultError(f"injected fault at {name!r}")
 

@@ -338,3 +338,66 @@ class TestConflictBudgetCorpusRegression:
                 s.get("undecided", 0) for s in tiny.checker_statistics.values()
             )
             assert undecided >= 1, path.name
+
+
+class TestControlFlowNeverDegrades:
+    """Hard budget expiry and interrupts must *propagate* out of the
+    pipeline — the pass-isolation catches re-raise them instead of
+    converting the unwind into degradation_warnings (the over-broad
+    ``except Exception`` bug the daemon sweep fixed)."""
+
+    CONTROL_POINTS = [
+        "pass:verify",
+        "pass:pointer",
+        "pass:dataflow",
+        "pass:interference",
+        "pass:detect:use-after-free",
+    ]
+
+    @pytest.mark.parametrize("point", CONTROL_POINTS)
+    def test_budget_exceeded_propagates(self, point):
+        from repro.analysis.budget import BudgetExceededError
+
+        with inject(FaultPlan.make(cancel=[point])):
+            with pytest.raises(BudgetExceededError) as excinfo:
+                _fresh_canary().analyze_source(SIMPLE_UAF)
+        assert excinfo.value.where == point
+
+    @pytest.mark.parametrize("point", ["pass:parse", "pass:lower"])
+    def test_budget_exceeded_propagates_from_frontend(self, point):
+        from repro.analysis.budget import BudgetExceededError
+
+        with inject(FaultPlan.make(cancel=[point])):
+            with pytest.raises(BudgetExceededError):
+                _fresh_canary().analyze_source(SIMPLE_UAF)
+
+    @pytest.mark.parametrize("point", ["pass:pointer", "pass:interference"])
+    def test_keyboard_interrupt_propagates(self, point):
+        with inject(FaultPlan.make(interrupt=[point])):
+            with pytest.raises(KeyboardInterrupt):
+                _fresh_canary().analyze_source(SIMPLE_UAF)
+
+    def test_interrupt_and_cancel_round_trip_plan_json(self):
+        plan = FaultPlan.make(
+            interrupt=["pass:pointer"], cancel=["pass:mhp"]
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        assert plan.points() == {"pass:pointer", "pass:mhp"}
+
+    def test_ordinary_crash_still_degrades(self):
+        # The re-raise is surgical: FaultError (a pass crash) keeps the
+        # graceful-degradation contract.
+        with inject(FaultPlan.make(crash=["pass:pointer"])):
+            report = _fresh_canary().analyze_source(SIMPLE_UAF)
+        assert report.degradation_warnings
+
+    def test_cancelled_budget_reads_expired(self):
+        from repro.analysis.budget import Budget
+
+        budget = Budget(wall_seconds=None)
+        assert not budget.expired()
+        budget.cancel("client went away")
+        assert budget.expired()
+        assert budget.remaining() == 0.0
+        assert budget.note_expired("checkpoint")
+        assert budget.expirations == ["checkpoint"]
