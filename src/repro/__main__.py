@@ -9,7 +9,7 @@ import argparse
 import sys
 
 from .analysis import AnalysisConfig, Canary
-from .checkers import ALL_CHECKERS
+from .checkers import ALL_CHECKERS, resolve_checker_names
 from .frontend import FrontendError
 from .obs import Tracer, write_chrome_trace, write_metrics_json, write_trace_ndjson
 
@@ -31,12 +31,28 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--checkers",
         default="use-after-free",
-        help=f"comma-separated checker list (available: {', '.join(sorted(ALL_CHECKERS))})",
+        help="comma-separated checker list (available: "
+        f"{', '.join(sorted(ALL_CHECKERS))}; short aliases: race, atomicity,"
+        " order, uaf, doublefree, nullderef, leak)",
     )
     parser.add_argument(
         "--all-threads",
         action="store_true",
         help="also report intra-thread findings (default: inter-thread only)",
+    )
+    parser.add_argument(
+        "--model-locks",
+        action="store_true",
+        help="model lock/unlock critical sections: mutual-exclusion order"
+        " constraints plus the data-race checker's lock-set filter",
+    )
+    parser.add_argument(
+        "--memory-model",
+        choices=["sc", "tso", "pso"],
+        default="sc",
+        help="memory model for Φ_po: sc keeps full program order, tso"
+        " relaxes store→load, pso additionally relaxes store→store"
+        " (exercised by the order-violation checker)",
     )
     parser.add_argument("--unroll", type=int, default=2, help="loop unroll depth")
     parser.add_argument(
@@ -197,15 +213,19 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    checkers = tuple(c.strip() for c in args.checkers.split(",") if c.strip())
-    unknown = [c for c in checkers if c not in ALL_CHECKERS]
-    if unknown:
-        parser.error(f"unknown checker(s): {', '.join(unknown)}")
+    try:
+        checkers = resolve_checker_names(
+            c.strip() for c in args.checkers.split(",") if c.strip()
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
 
     defaults = AnalysisConfig()
     config = AnalysisConfig(
         checkers=checkers,
         inter_thread_only=not args.all_threads,
+        model_locks=args.model_locks,
+        memory_model=args.memory_model,
         unroll_depth=args.unroll,
         context_depth=args.context_depth,
         parallel_solving=args.parallel,

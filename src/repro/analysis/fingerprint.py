@@ -25,7 +25,9 @@ from ..ir.instructions import (
     ForkInst,
     JoinInst,
     LockInst,
+    SignalInst,
     UnlockInst,
+    WaitInst,
 )
 from ..ir.module import IRModule
 from ..ir.values import FunctionRef
@@ -121,6 +123,8 @@ def module_skeleton(module: IRModule) -> str:
                 enc += f":{inst.thread}"
             elif isinstance(inst, (LockInst, UnlockInst)):
                 enc += f":{inst.mutex}"
+            elif isinstance(inst, (SignalInst, WaitInst)):
+                enc += f":{inst.cond}"
             parts.append(enc)
     if indirect:
         # Function-pointer targets come from whole-module points-to facts,

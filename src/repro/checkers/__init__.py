@@ -6,14 +6,23 @@ in :class:`repro.checkers.base.SourceSinkChecker`:
 * :class:`UseAfterFreeChecker` — the paper's headline property (§7.2);
 * :class:`DoubleFreeChecker`;
 * :class:`NullDerefChecker`;
-* :class:`TaintLeakChecker` — information leaks through shared memory.
+* :class:`TaintLeakChecker` — information leaks through shared memory;
+* :class:`DataRaceChecker` — conflicting unordered accesses (lock-set
+  and signal→wait aware);
+* :class:`AtomicityViolationChecker` — a remote write interleaved into a
+  local read–modify–write window;
+* :class:`OrderViolationChecker` — remote observation of a superseded
+  (pre-publication) value.
 """
 
 from .base import BugReport, SourceSinkChecker, SuppressedCandidate, UseIndex
 from .reporting import report_to_dict, report_to_json, report_to_sarif
+from .atomicity import AtomicityViolationChecker
 from .doublefree import DoubleFreeChecker
 from .leak import TaintLeakChecker
 from .nullderef import NullDerefChecker
+from .order import OrderViolationChecker
+from .race import DataRaceChecker
 from .uaf import UseAfterFreeChecker
 
 ALL_CHECKERS = {
@@ -21,7 +30,31 @@ ALL_CHECKERS = {
     "double-free": DoubleFreeChecker,
     "null-deref": NullDerefChecker,
     "info-leak": TaintLeakChecker,
+    "data-race": DataRaceChecker,
+    "atomicity-violation": AtomicityViolationChecker,
+    "order-violation": OrderViolationChecker,
 }
+
+#: short CLI spellings (``--checkers=race,atomicity,order``)
+CHECKER_ALIASES = {
+    "race": "data-race",
+    "atomicity": "atomicity-violation",
+    "order": "order-violation",
+    "uaf": "use-after-free",
+    "doublefree": "double-free",
+    "nullderef": "null-deref",
+    "leak": "info-leak",
+}
+
+
+def resolve_checker_names(names):
+    """Expand aliases and validate; raises ``ValueError`` on unknown names."""
+    resolved = tuple(CHECKER_ALIASES.get(name, name) for name in names)
+    unknown = [name for name in resolved if name not in ALL_CHECKERS]
+    if unknown:
+        raise ValueError(f"unknown checker(s): {', '.join(unknown)}")
+    return resolved
+
 
 __all__ = [
     "BugReport",
@@ -35,5 +68,10 @@ __all__ = [
     "DoubleFreeChecker",
     "NullDerefChecker",
     "TaintLeakChecker",
+    "DataRaceChecker",
+    "AtomicityViolationChecker",
+    "OrderViolationChecker",
     "ALL_CHECKERS",
+    "CHECKER_ALIASES",
+    "resolve_checker_names",
 ]

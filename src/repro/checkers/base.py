@@ -238,6 +238,15 @@ class SourceSinkChecker:
     ) -> Tuple[BoolTerm, ...]:
         return ()
 
+    def extra_statements(
+        self, source_inst: Instruction, sink_inst: Instruction
+    ) -> Tuple[Instruction, ...]:
+        """Statements beyond path + endpoints whose order variables the
+        checker's ``extra_constraints`` mention; they join the Φ_po and
+        mutual-exclusion universe of the query (e.g. the local write of
+        an RMW pair for the atomicity checker)."""
+        return ()
+
     def admit(self, source: Instruction, sink: Instruction, path: ValueFlowPath) -> bool:
         """Property-specific pre-SMT filter.
 
@@ -374,6 +383,9 @@ class SourceSinkChecker:
                             source_inst, sink_inst
                         ),
                         alias_guard=alias_guard,
+                        extra_statements=self.extra_statements(
+                            source_inst, sink_inst
+                        ),
                     )
                     result = self.realizability.check(query)
                     if not result.realizable:
@@ -537,6 +549,7 @@ class SourceSinkChecker:
             sink_inst=sink_inst,
             extra_constraints=self.extra_constraints(source_inst, sink_inst),
             alias_guard=alias_guard,
+            extra_statements=self.extra_statements(source_inst, sink_inst),
         )
 
     def _run_streaming(

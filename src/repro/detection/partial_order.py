@@ -54,6 +54,16 @@ class OrderConstraintBuilder:
         self.mhp: MhpAnalysis = bundle.mhp
         self.lock_analysis = lock_analysis
         self.memory_model = memory_model
+        self._condvars = None
+
+    @property
+    def condvars(self):
+        """Lazily built :class:`~repro.threads.condvars.CondVarAnalysis`."""
+        if self._condvars is None:
+            from ..threads.condvars import CondVarAnalysis
+
+            self._condvars = CondVarAnalysis(self.bundle.module, self.mhp)
+        return self._condvars
 
     # ----- Φ_po (Eq. 4) -----------------------------------------------------
 
@@ -198,6 +208,71 @@ class OrderConstraintBuilder:
             for region in self.lock_analysis.regions_of(s):
                 parts.append(lt(order_var(region.lock), order_var(s)))
                 parts.append(lt(order_var(s), order_var(region.unlock)))
+        return and_(*parts)
+
+    # ----- signal→wait edges (condition-variable extension) -------------------
+
+    def signal_wait_order(self, statements: Sequence[Instruction]) -> BoolTerm:
+        """Signal→wait ordering edges for every wait statement on a path.
+
+        For each ``wait(c)`` the disjunction ``⋁ O_s < O_w`` over the
+        condition's signal sites forces *some* signal before the wait;
+        each mentioned signal is additionally pinned to the other path
+        statements via its statically-known program order (mirroring the
+        Φ_ls treatment of interfering stores).  Signal/wait edges are
+        fences — no memory-model relaxation applies (``_relaxed`` only
+        weakens load/store pairs).
+        """
+        cv = self.condvars
+        if not cv.has_sync():
+            return TRUE
+        unique: List[Instruction] = []
+        seen = set()
+        for s in statements:
+            if s is not None and s.label not in seen:
+                seen.add(s.label)
+                unique.append(s)
+        # The waits that constrain this formula: those in the statement
+        # universe, plus those ordered before some statement in it (a
+        # path statement after a wait inherits the signal ordering the
+        # same way a statement inside a lock region inherits O_lock<O_s).
+        waits = []
+        wseen = set()
+        for cond in cv.conditions:
+            for w in cv.waits_of(cond):
+                if w.label in wseen:
+                    continue
+                if any(
+                    w is st or self.mhp.happens_before(w, st) for st in unique
+                ):
+                    wseen.add(w.label)
+                    waits.append(w)
+        parts: List[BoolTerm] = []
+        mentioned: List[Instruction] = []
+        for w in waits:
+            signals = cv.signals_of(w.cond)
+            if not signals:
+                continue  # un-signalled condition: no constraint (soundy)
+            disj = [
+                lt(order_var(s), order_var(w))
+                for s in signals
+                if not self.mhp.happens_before(w, s)
+            ]
+            if not disj:
+                # Every signal is ordered after the wait: the wait can
+                # never be released, so nothing past it executes.
+                from ..smt.terms import FALSE
+
+                return FALSE
+            parts.append(or_(*disj))
+            mentioned.extend(
+                s for s in signals if not self.mhp.happens_before(w, s)
+            )
+            for st in unique:
+                parts.append(self.program_order_pair(w, st))
+        for s in mentioned:
+            for st in unique:
+                parts.append(self.program_order_pair(s, st))
         return and_(*parts)
 
     def _may_intervene(

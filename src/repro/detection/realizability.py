@@ -85,6 +85,12 @@ class PathQuery:
     sink_inst: Optional[Instruction]
     extra_constraints: Tuple[BoolTerm, ...] = ()
     alias_guard: BoolTerm = TRUE
+    #: additional statements (beyond path + endpoints) whose order
+    #: variables the checker's extra_constraints mention — they join the
+    #: Φ_po / mutual-exclusion statement universe and contribute their
+    #: own path conditions (e.g. the local write of an RMW pair for the
+    #: atomicity checker).
+    extra_statements: Tuple[Instruction, ...] = ()
 
 
 @dataclass
@@ -310,16 +316,22 @@ class RealizabilityChecker:
             parts.append(query.source_inst.guard)
         if query.sink_inst is not None:
             parts.append(query.sink_inst.guard)
+        for extra in query.extra_statements:
+            parts.append(extra.guard)
         if self.order_constraints:
             # Φ_po over every statement involved (Eq. 4).
             statements = query.path.statements(self.bundle)
             for endpoint in (query.source_inst, query.sink_inst):
                 if endpoint is not None:
                     statements.append(endpoint)
+            statements.extend(query.extra_statements)
             parts.append(self.orders.program_order(statements))
             # Lock/unlock extension: mutual exclusion over everything the
             # formula mentions (path, endpoints, interfering stores).
             parts.append(self.orders.mutex_exclusion(statements + mentioned))
+            # Condition-variable extension: signal→wait edges for every
+            # wait statement the formula mentions.
+            parts.append(self.orders.signal_wait_order(statements + mentioned))
         parts.append(query.alias_guard)
         parts.extend(query.extra_constraints)
         return and_(*parts)

@@ -20,7 +20,12 @@ from ..ir.module import IRModule
 from .interpreter import Environment, ExecutionResult, Interpreter
 from .state import Violation
 
-__all__ = ["ConfirmationResult", "confirm_bug", "confirm_all"]
+__all__ = ["CONCURRENCY_KINDS", "ConfirmationResult", "confirm_bug", "confirm_all"]
+
+#: report kinds needing the interpreter's opt-in concurrency detectors
+CONCURRENCY_KINDS = frozenset(
+    {"data-race", "atomicity-violation", "order-violation"}
+)
 
 
 @dataclass
@@ -75,7 +80,11 @@ def confirm_bug(
         {"schedule": None, "eager_children": True},
     )
     for strategy in strategies:
-        interp = Interpreter(module, _environment_from(bug))
+        interp = Interpreter(
+            module,
+            _environment_from(bug),
+            concurrency_checks=bug.kind in CONCURRENCY_KINDS,
+        )
         execution = interp.run(max_steps=max_steps, **strategy)
         last_execution = execution
         matching = [v for v in execution.violations if v.kind == bug.kind]

@@ -8,11 +8,21 @@ guards are evaluated against the environment — the same assignment the
 solver used — so a replay follows exactly the control-flow paths the
 witness assumed, while the memory effects are fully concrete.
 
-The interpreter dynamically detects the four properties the checkers
-report (use-after-free, double-free, NULL dereference, information
-leak), which lets :mod:`repro.interp.confirm` validate static reports by
-replaying their witnesses — the executable analogue of the paper's
-manual bug confirmation.
+The interpreter dynamically detects the four memory-safety/flow
+properties the original checkers report (use-after-free, double-free,
+NULL dereference, information leak), which lets
+:mod:`repro.interp.confirm` validate static reports by replaying their
+witnesses — the executable analogue of the paper's manual bug
+confirmation.
+
+With ``concurrency_checks=True`` it additionally detects the
+concurrency families (data-race, atomicity-violation, order-violation)
+using a per-access happens-before clock (fork/join/signal→wait edges)
+plus lock-set disjointness.  The detectors are *opt-in*: they observe
+scheduling accidents, so the static-soundness differential tests (which
+compare against the memory-safety checkers only) run with them off;
+:func:`repro.interp.confirm.confirm_bug` turns them on when replaying a
+concurrency report.
 """
 
 from __future__ import annotations
@@ -35,10 +45,12 @@ from ..ir.instructions import (
     LockInst,
     PhiInst,
     ReturnInst,
+    SignalInst,
     SinkInst,
     SourceInst,
     StoreInst,
     UnlockInst,
+    WaitInst,
 )
 from ..ir.module import IRModule
 from ..ir.values import (
@@ -88,15 +100,39 @@ class ExecutionResult:
 class Interpreter:
     """One concrete execution of a module (create fresh per run)."""
 
-    def __init__(self, module: IRModule, env: Optional[Environment] = None) -> None:
+    def __init__(
+        self,
+        module: IRModule,
+        env: Optional[Environment] = None,
+        concurrency_checks: bool = False,
+    ) -> None:
         self.module = module
         self.env = env or Environment()
+        self.concurrency_checks = concurrency_checks
         self.violations: List[Violation] = []
         self.output: List[str] = []
         self.globals: Dict[MemObject, Cell] = {}
         self.threads: List[ThreadState] = []
         self._thread_by_name: Dict[Tuple[str, str], ThreadState] = {}
         self._blocked: Dict[str, Tuple[str, str]] = {}  # tid -> awaited key
+        self._cond_blocked: Dict[str, str] = {}  # tid -> awaited condition
+        self._signalled: Set[str] = set()  # latched condition variables
+        self._held: Dict[str, List[str]] = {}  # tid -> held mutexes (multiset)
+        #: happens-before clocks for the opt-in concurrency detectors:
+        #: each tracked access is an event; a thread's clock is the set of
+        #: events ordered before its next action (fork inherits, join and
+        #: wait merge).
+        self._clocks: Dict[str, Set[int]] = {}
+        self._signal_clocks: Dict[str, Set[int]] = {}
+        #: cell uid -> {'write': access | None, 'reads': {tid: access},
+        #:              'rmw': {tid: [read_label, intervening_label]},
+        #:              'accesses': [access, ...]}  where an access is
+        #: (tid, label, lock set, event id, is_write)
+        self._access: Dict[int, dict] = {}
+        #: (kind, label, prev_label) triples already reported — dedup so
+        #: a loop re-executing a racing pair floods nothing
+        self._reported: Set[tuple] = set()
+        self._event_counter = 0
         self.steps = 0
         self._tid_counter = 0
 
@@ -168,14 +204,26 @@ class Interpreter:
     def _runnable(self, thread: ThreadState) -> bool:
         if thread.finished:
             return False
+        cond = self._cond_blocked.get(thread.tid)
+        if cond is not None:
+            if cond not in self._signalled:
+                return False
+            del self._cond_blocked[thread.tid]
+            self._merge_clock(thread.tid, self._signal_clocks.get(cond))
         key = self._blocked.get(thread.tid)
         if key is None:
             return True
         target = self._thread_by_name.get(key)
         if target is None or target.finished:
             del self._blocked[thread.tid]
+            if target is not None:
+                self._merge_clock(thread.tid, self._clocks.get(target.tid))
             return True
         return False
+
+    def _merge_clock(self, tid: str, events: Optional[Set[int]]) -> None:
+        if self.concurrency_checks and events:
+            self._clocks.setdefault(tid, set()).update(events)
 
     def _next_instruction(self, thread: ThreadState) -> Optional[Instruction]:
         """The next guard-enabled instruction the thread will execute
@@ -255,6 +303,7 @@ class Interpreter:
             ptr = self._value_of(inst.pointer, env)
             cell = self._deref(ptr, inst, "load")
             if cell is not None:
+                self._record_access(cell, inst, thread, is_write=False)
                 env[inst.dst] = cell.value if cell.value is not None else RuntimeValue(integer=0)
             else:
                 env[inst.dst] = RuntimeValue(integer=0)
@@ -262,6 +311,7 @@ class Interpreter:
             ptr = self._value_of(inst.pointer, env)
             cell = self._deref(ptr, inst, "store")
             if cell is not None:
+                self._record_access(cell, inst, thread, is_write=True)
                 cell.value = self._value_of(inst.value, env)
         elif isinstance(inst, FreeInst):
             ptr = self._value_of(inst.pointer, env)
@@ -292,6 +342,10 @@ class Interpreter:
                 args = [self._value_of(a, env) for a in inst.args]
                 child = self._spawn(callee_name, args)
                 self._thread_by_name[(thread.tid, inst.thread)] = child
+                if self.concurrency_checks:
+                    # fork edge: the child happens-after everything the
+                    # parent has done so far
+                    self._clocks[child.tid] = set(self._clocks.get(thread.tid, ()))
                 if getattr(self, "_eager_children", False):
                     # "Serialize children first" schedule: the child runs
                     # to completion at its fork point.
@@ -306,6 +360,8 @@ class Interpreter:
             if target is not None and not target.finished:
                 self._blocked[thread.tid] = key
                 return False  # retry the join later
+            if target is not None:
+                self._merge_clock(thread.tid, self._clocks.get(target.tid))
         elif isinstance(inst, SourceInst):
             if inst.kind == "taint":
                 env[inst.dst] = RuntimeValue(integer=1, tainted=True)
@@ -320,9 +376,118 @@ class Interpreter:
                 )
             elif inst.kind == "print":
                 self.output.append(" ".join(repr(v) for v in values))
-        elif isinstance(inst, (LockInst, UnlockInst)):
-            pass  # mutual exclusion honored by the schedule, not enforced here
+        elif isinstance(inst, LockInst):
+            # Mutual exclusion is honored by the schedule, not enforced
+            # here; the held-lock sets feed the race detector's lock-set
+            # disjointness test.
+            self._held.setdefault(thread.tid, []).append(inst.mutex)
+        elif isinstance(inst, UnlockInst):
+            held = self._held.get(thread.tid)
+            if held and inst.mutex in held:
+                held.remove(inst.mutex)
+        elif isinstance(inst, SignalInst):
+            self._signalled.add(inst.cond)
+            if self.concurrency_checks:
+                self._signal_clocks.setdefault(inst.cond, set()).update(
+                    self._clocks.get(thread.tid, ())
+                )
+        elif isinstance(inst, WaitInst):
+            if inst.cond not in self._signalled:
+                self._cond_blocked[thread.tid] = inst.cond
+                return False  # retry once some thread signals
+            self._merge_clock(thread.tid, self._signal_clocks.get(inst.cond))
         return True
+
+    # ----- opt-in concurrency detection ---------------------------------------
+
+    def _record_access(
+        self, cell: Cell, inst: Instruction, thread: ThreadState, is_write: bool
+    ) -> None:
+        """Happens-before/lock-set detection of data races, atomicity
+        violations, and order violations (``concurrency_checks`` only).
+
+        A prior access races with the current one when it came from a
+        different thread, its event is not in the current thread's clock
+        (no fork/join/signal→wait path orders them), and the two lock
+        sets are disjoint.
+        """
+        if not self.concurrency_checks:
+            return
+        tid = thread.tid
+        clock = self._clocks.setdefault(tid, set())
+        locks = frozenset(self._held.get(tid, ()))
+        state = self._access.setdefault(
+            cell.uid, {"write": None, "reads": {}, "rmw": {}, "accesses": []}
+        )
+
+        def races_with(prev) -> bool:
+            ptid, _plabel, plocks, pevent, _pwrite = prev
+            return ptid != tid and pevent not in clock and not (plocks & locks)
+
+        # Race detection runs against the cell's *full* access history,
+        # not just the most recent write: a race between two accesses is
+        # a property of the happens-before relation, so an intervening
+        # third write must not mask it (otherwise confirmation would
+        # depend on which schedule the replay happened to take).
+        kind = "write" if is_write else "read"
+        for prev in state["accesses"]:
+            if (is_write or prev[4]) and races_with(prev):
+                pair = ("data-race", inst.label, prev[1])
+                if pair in self._reported:
+                    continue
+                self._reported.add(pair)
+                pkind = "write" if prev[4] else "read"
+                self.violations.append(
+                    Violation(
+                        "data-race",
+                        inst.label,
+                        f"{kind} of {cell!r} racing with {pkind} at ℓ{prev[1]}",
+                    )
+                )
+        last_write = state["write"]
+        if is_write:
+            # This write intervenes in every other thread's open
+            # read-modify-write window on the cell.
+            for other_tid, window in state["rmw"].items():
+                if other_tid != tid and window[1] is None:
+                    window[1] = inst.label
+            # Completing our own window after an intervening remote write
+            # is the atomicity violation.
+            window = state["rmw"].pop(tid, None)
+            if window is not None and window[1] is not None:
+                self.violations.append(
+                    Violation(
+                        "atomicity-violation",
+                        window[1],
+                        f"remote write at ℓ{window[1]} split the"
+                        f" ℓ{window[0]}→ℓ{inst.label} read-modify-write",
+                    )
+                )
+            # Overwriting our own previous value that a remote thread
+            # observed is the order violation (use before publication).
+            if last_write is not None and last_write[0] == tid:
+                for reader_tid, prev in state["reads"].items():
+                    if reader_tid != tid:
+                        self.violations.append(
+                            Violation(
+                                "order-violation",
+                                prev[1],
+                                f"remote read at ℓ{prev[1]} observed the"
+                                f" superseded value stored at ℓ{last_write[1]}",
+                            )
+                        )
+            self._event_counter += 1
+            clock.add(self._event_counter)
+            state["write"] = (tid, inst.label, locks, self._event_counter, True)
+            state["accesses"].append(state["write"])
+            state["reads"] = {}
+        else:
+            self._event_counter += 1
+            clock.add(self._event_counter)
+            access = (tid, inst.label, locks, self._event_counter, False)
+            state["reads"][tid] = access
+            state["accesses"].append(access)
+            state["rmw"][tid] = [inst.label, None]
 
     def _slot_cell(self, obj: MemObject, cells: Dict[MemObject, Cell]) -> Cell:
         if obj.kind == "global":

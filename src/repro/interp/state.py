@@ -60,6 +60,8 @@ class Violation:
     """A dynamically observed memory-safety/flow violation."""
 
     kind: str  # 'use-after-free' | 'double-free' | 'null-deref' | 'info-leak'
+    # (with Interpreter(concurrency_checks=True) additionally:
+    #  'data-race' | 'atomicity-violation' | 'order-violation')
     label: int  # statement that triggered it
     detail: str
 

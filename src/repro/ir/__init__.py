@@ -23,10 +23,12 @@ from .instructions import (
     LockInst,
     PhiInst,
     ReturnInst,
+    SignalInst,
     SinkInst,
     SourceInst,
     StoreInst,
     UnlockInst,
+    WaitInst,
 )
 from .module import IRFunction, IRModule
 from .verifier import VerificationError, VerificationReport, verify_module
@@ -56,10 +58,12 @@ __all__ = [
     "LockInst",
     "PhiInst",
     "ReturnInst",
+    "SignalInst",
     "SinkInst",
     "SourceInst",
     "StoreInst",
     "UnlockInst",
+    "WaitInst",
     "IRFunction",
     "IRModule",
     "VerificationError",

@@ -38,6 +38,8 @@ __all__ = [
     "FreeInst",
     "LockInst",
     "UnlockInst",
+    "SignalInst",
+    "WaitInst",
     "SourceInst",
     "SinkInst",
 ]
@@ -261,6 +263,28 @@ class UnlockInst(Instruction):
 
     def brief(self) -> str:
         return f"unlock {self.mutex}"
+
+
+@dataclass(eq=False)
+class SignalInst(Instruction):
+    """``signal(c)`` — post condition variable ``c`` (latch semantics:
+    once signalled, every current and future ``wait(c)`` proceeds)."""
+
+    cond: str
+
+    def brief(self) -> str:
+        return f"signal {self.cond}"
+
+
+@dataclass(eq=False)
+class WaitInst(Instruction):
+    """``wait(c)`` — block until some thread has executed ``signal(c)``.
+    Contributes a signal→wait ordering edge to Φ_po (Eq. 4)."""
+
+    cond: str
+
+    def brief(self) -> str:
+        return f"wait {self.cond}"
 
 
 @dataclass(eq=False)

@@ -39,10 +39,12 @@ from ..ir.instructions import (
     LockInst,
     PhiInst,
     ReturnInst,
+    SignalInst,
     SinkInst,
     SourceInst,
     StoreInst,
     UnlockInst,
+    WaitInst,
 )
 from ..ir.module import IRFunction, IRModule
 from ..ir.values import (
@@ -610,6 +612,12 @@ class _FunctionLowerer:
             return IntConstant(0)
         if name == "unlock":
             self.emit(UnlockInst, loc, mutex=_mutex_name(expr))
+            return IntConstant(0)
+        if name == "signal":
+            self.emit(SignalInst, loc, cond=_mutex_name(expr))
+            return IntConstant(0)
+        if name == "wait":
+            self.emit(WaitInst, loc, cond=_mutex_name(expr))
             return IntConstant(0)
         callee = self._callee_value(name, loc)
         args = [self._lower_expr(a) for a in expr.args]

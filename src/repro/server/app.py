@@ -32,7 +32,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
 from ..analysis.config import AnalysisConfig
-from ..checkers import ALL_CHECKERS
+from ..checkers import ALL_CHECKERS, resolve_checker_names
 from .service import AnalysisService, ConfigError
 
 __all__ = ["make_server", "serve_main"]
@@ -237,10 +237,12 @@ def serve_main(argv=None) -> int:
     parser.add_argument("--verbose", action="store_true", help="log every request")
     args = parser.parse_args(argv)
 
-    checkers = tuple(c.strip() for c in args.checkers.split(",") if c.strip())
-    unknown = [c for c in checkers if c not in ALL_CHECKERS]
-    if unknown:
-        parser.error(f"unknown checker(s): {', '.join(unknown)}")
+    try:
+        checkers = resolve_checker_names(
+            c.strip() for c in args.checkers.split(",") if c.strip()
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
     config = AnalysisConfig(
         checkers=checkers,
         timeout_seconds=args.timeout,

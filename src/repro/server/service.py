@@ -42,7 +42,7 @@ from ..analysis.budget import Budget, BudgetExceededError
 from ..analysis.config import CACHE_ONLY_FIELDS, AnalysisConfig
 from ..analysis.fingerprint import report_to_portable
 from ..analysis.passes import AnalysisPipeline
-from ..checkers import ALL_CHECKERS
+from ..checkers import resolve_checker_names
 from ..frontend import FrontendError
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER, Tracer
@@ -116,10 +116,10 @@ class AnalysisService:
             if name == "checkers":
                 if isinstance(value, str):
                     value = [c.strip() for c in value.split(",") if c.strip()]
-                value = tuple(value)
-                unknown = [c for c in value if c not in ALL_CHECKERS]
-                if unknown:
-                    raise ConfigError(f"unknown checker(s): {', '.join(unknown)}")
+                try:
+                    value = resolve_checker_names(tuple(value))
+                except ValueError as exc:
+                    raise ConfigError(str(exc)) from exc
             clean[name] = value
         try:
             return dataclasses.replace(self.config, **clean)

@@ -6,6 +6,8 @@ Escape analysis lives with the interference analysis in
 """
 
 from .callgraph import MAIN_THREAD, Thread, ThreadCallGraph, build_thread_call_graph
+from .condvars import CondVarAnalysis
+from .locks import LockAnalysis, LockRegion
 from .mhp import MhpAnalysis
 
 __all__ = [
@@ -13,5 +15,8 @@ __all__ = [
     "Thread",
     "ThreadCallGraph",
     "build_thread_call_graph",
+    "CondVarAnalysis",
+    "LockAnalysis",
+    "LockRegion",
     "MhpAnalysis",
 ]

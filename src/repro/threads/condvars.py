@@ -1,0 +1,91 @@
+"""Condition-variable signal→wait ordering — synchronization plug-in (2).
+
+Like :mod:`repro.threads.locks`, this extends the paper's Φ_po (Eq. 4)
+with an extra synchronization semantics the published Canary leaves to
+plug-ins (§5.1): a ``wait(c)`` statement cannot execute before *some*
+``signal(c)`` has executed.  The encoding added by
+:meth:`~repro.detection.partial_order.OrderConstraintBuilder.signal_wait_order`
+is the disjunction over the condition's signal sites
+
+    ⋁_{s ∈ signals(c)}  O_s < O_w
+
+(restricted to signals not already ordered after the wait), which the
+difference-logic core decides natively.
+
+The latch semantics — once signalled, every current and future wait
+proceeds — matches the concrete interpreter's replay semantics, so
+witness schedules stay executable.
+
+Structurally, the analysis also answers the *extended happens-before*
+query used by the race/atomicity checkers to discard protected pairs
+before any formula is built: ``a`` is ordered before ``b`` when some
+signal/wait pair on one condition has ``a ≤hb signal`` and ``wait ≤hb b``
+— valid when every wait of that condition has a unique signalling
+source, which is exactly the single-signal publication idiom the corpus
+bait programs exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..ir.instructions import Instruction, SignalInst, WaitInst
+from ..ir.module import IRModule
+from .mhp import MhpAnalysis
+
+__all__ = ["CondVarAnalysis"]
+
+
+class CondVarAnalysis:
+    """Per-condition signal/wait site index plus the extended-hb query."""
+
+    def __init__(self, module: IRModule, mhp: MhpAnalysis) -> None:
+        self.module = module
+        self.mhp = mhp
+        self._signals: Dict[str, List[SignalInst]] = {}
+        self._waits: Dict[str, List[WaitInst]] = {}
+        for inst in module.all_instructions():
+            if isinstance(inst, SignalInst):
+                self._signals.setdefault(inst.cond, []).append(inst)
+            elif isinstance(inst, WaitInst):
+                self._waits.setdefault(inst.cond, []).append(inst)
+
+    @property
+    def conditions(self) -> Tuple[str, ...]:
+        names = set(self._signals) | set(self._waits)
+        return tuple(sorted(names))
+
+    def signals_of(self, cond: str) -> Tuple[SignalInst, ...]:
+        return tuple(self._signals.get(cond, ()))
+
+    def waits_of(self, cond: str) -> Tuple[WaitInst, ...]:
+        return tuple(self._waits.get(cond, ()))
+
+    def has_sync(self) -> bool:
+        """Does the module use condition variables at all?"""
+        return bool(self._signals and self._waits)
+
+    def ordered_before(self, a: Instruction, b: Instruction) -> bool:
+        """Extended happens-before: is ``a`` ordered before ``b`` through a
+        signal→wait edge (or a chain ``a ≤hb signal ; wait ≤hb b``)?
+
+        Sound only when the condition has a single signal site (any wait
+        must have observed *that* signal); multi-signal conditions are
+        left to the solver-side encoding.
+        """
+        hb = self.mhp.happens_before
+        for cond, waits in self._waits.items():
+            signals = self._signals.get(cond, ())
+            if len(signals) != 1:
+                continue
+            s = signals[0]
+            if not (a is s or hb(a, s)):
+                continue
+            for w in waits:
+                if w is b or hb(w, b):
+                    return True
+        return False
+
+    def sync_free(self, a: Instruction, b: Instruction) -> bool:
+        """Neither direction of the pair is ordered by a signal→wait edge."""
+        return not (self.ordered_before(a, b) or self.ordered_before(b, a))

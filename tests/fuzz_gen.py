@@ -11,7 +11,7 @@ from __future__ import annotations
 import random
 from typing import List
 
-__all__ = ["random_program", "scaled_program"]
+__all__ = ["random_program", "scaled_program", "lock_bait_program"]
 
 
 def random_program(seed: int, n_workers: int = 2, ops_per_body: int = 6) -> str:
@@ -88,6 +88,55 @@ def random_program(seed: int, n_workers: int = 2, ops_per_body: int = 6) -> str:
     if rng.random() < 0.4:
         lines.append(f"    join(t{rng.randrange(n_workers)});")
         lines.extend(body_ops("m2", "    ", rng))
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def lock_bait_program(
+    seed: int,
+    n_workers: int = 2,
+    protected: bool = True,
+    ops_per_body: int = 4,
+) -> str:
+    """Lock-protected bait (the paper's Fig. 2 false-positive class):
+    every access to the shared cell sits inside a critical section.
+
+    With ``protected`` every thread takes the *same* mutex, so a
+    lock-aware analysis must stay silent on the conflicting accesses;
+    with ``protected=False`` each thread takes its own private mutex and
+    the very same accesses race.  The generated access soup is random
+    but the locking discipline is exact, which makes the pair a
+    differential oracle for the data-race checker's lock-set filter.
+    """
+    rng = random.Random(seed)
+
+    def body_ops(prefix: str, mutex: str) -> List[str]:
+        ops: List[str] = [f"    lock({mutex});"]
+        for i in range(ops_per_body):
+            choice = rng.randrange(3)
+            if choice == 0:
+                ops.append(f"    *c = {rng.randrange(100)};")
+            elif choice == 1:
+                ops.append(f"    int {prefix}_r{i} = *c;")
+            else:
+                ops.append(f"    *c = *c + {rng.randrange(10)};")
+        ops.append(f"    unlock({mutex});")
+        return ops
+
+    lines: List[str] = []
+    for w in range(n_workers):
+        mutex = "m" if protected else f"m{w}"
+        lines.append(f"void worker{w}(int* c) {{")
+        lines.extend(body_ops(f"w{w}", mutex))
+        lines.append("}")
+        lines.append("")
+    lines.append("void main() {")
+    lines.append("    int* c = malloc();")
+    lines.append("    *c = 0;")
+    for w in range(n_workers):
+        lines.append(f"    fork(t{w}, worker{w}, c);")
+    main_mutex = "m" if protected else "mmain"
+    lines.extend(body_ops("m", main_mutex))
     lines.append("}")
     return "\n".join(lines) + "\n"
 

@@ -1,0 +1,131 @@
+"""The CI equivalence-and-replay gate, as a runnable test suite.
+
+Two contracts over the *entire* corpus, with every file's directive
+checkers unioned with the three concurrency families:
+
+* **equivalence** — detection must be byte-identical at every
+  ``detect_workers`` width (1, 2, 8): same bug keys, same witness
+  paths.  Sharded workers rebuild checkers from fixed kwargs and replay
+  (source-index, sequence) ordinals, so any nondeterminism (unsorted
+  object sets, dict-order iteration) shows up here;
+* **replay** — every realizable report must confirm dynamically via
+  :func:`repro.interp.confirm_all`.  Files configured with a relaxed
+  memory model are skipped: the concrete interpreter executes program
+  order within each thread, so a TSO/PSO reordering witness is not
+  sequentially executable by construction.
+
+Run as a script (``python tests/test_checker_equivalence.py``) to print
+the replay-coverage table that the CI job publishes to its summary.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Dict, Tuple
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro import AnalysisConfig, Canary
+from repro.interp import confirm_all
+
+from test_corpus import CORPUS_FILES, _parse_directives
+
+#: the concurrency families ride along on every corpus file — they must
+#: be silent on files whose EXPECT lines do not mention them only if the
+#: file really is clean for that kind, which the corpus suite pins; here
+#: they only need to be *deterministic* and *replayable*.
+CONCURRENCY_FAMILIES = ("data-race", "atomicity-violation", "order-violation")
+
+WORKER_WIDTHS = (1, 2, 8)
+
+
+def _file_setup(path: Path) -> Tuple[str, Tuple[str, ...], Dict[str, object]]:
+    text = path.read_text()
+    _expects, checkers, config = _parse_directives(text)
+    all_checkers = tuple(dict.fromkeys(tuple(checkers) + CONCURRENCY_FAMILIES))
+    return text, all_checkers, config
+
+
+def _analyze(text, filename, checkers, config, workers=1):
+    overrides = dict(config, checkers=checkers, use_cache=False)
+    if workers > 1:
+        overrides.update(detect_workers=workers, solver_backend="process")
+    report = Canary(AnalysisConfig(**overrides)).analyze_source(
+        text, filename=filename
+    )
+    return report
+
+
+def _signature(report):
+    return sorted((b.key, tuple(b.path)) for b in report.bugs)
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES])
+def test_detection_equivalent_at_every_width(path: Path):
+    text, checkers, config = _file_setup(path)
+    reference = None
+    for width in WORKER_WIDTHS:
+        report = _analyze(text, path.name, checkers, config, workers=width)
+        signature = _signature(report)
+        if reference is None:
+            reference = signature
+        else:
+            assert signature == reference, (
+                f"{path.name}: detect_workers={width} diverged from serial"
+            )
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES])
+def test_every_realizable_report_replays(path: Path):
+    text, checkers, config = _file_setup(path)
+    if config.get("memory_model", "sc") != "sc":
+        pytest.skip("relaxed-memory witness is not sequentially executable")
+    report = _analyze(text, path.name, checkers, config)
+    results = confirm_all(report.bundle.module, report.bugs)
+    unconfirmed = [r for r in results if not r.confirmed]
+    assert not unconfirmed, "\n".join(r.describe() for r in unconfirmed)
+
+
+def replay_coverage() -> Tuple[Dict[str, Tuple[int, int]], int]:
+    """(kind -> (confirmed, total)) over the SC corpus, plus files skipped."""
+    per_kind: Dict[str, Tuple[int, int]] = {}
+    skipped = 0
+    for path in CORPUS_FILES:
+        text, checkers, config = _file_setup(path)
+        if config.get("memory_model", "sc") != "sc":
+            skipped += 1
+            continue
+        report = _analyze(text, path.name, checkers, config)
+        for result in confirm_all(report.bundle.module, report.bugs):
+            confirmed, total = per_kind.get(result.bug.kind, (0, 0))
+            per_kind[result.bug.kind] = (
+                confirmed + int(result.confirmed),
+                total + 1,
+            )
+    return per_kind, skipped
+
+
+def main() -> int:
+    per_kind, skipped = replay_coverage()
+    print("| kind | confirmed | total |")
+    print("|------|-----------|-------|")
+    failures = 0
+    for kind in sorted(per_kind):
+        confirmed, total = per_kind[kind]
+        print(f"| {kind} | {confirmed} | {total} |")
+        failures += total - confirmed
+    grand = [sum(v[i] for v in per_kind.values()) for i in (0, 1)]
+    print(f"| **all** | **{grand[0]}** | **{grand[1]}** |")
+    print()
+    print(
+        f"{len(CORPUS_FILES) - skipped} corpus files replayed,"
+        f" {skipped} skipped (relaxed memory model)."
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -104,6 +104,112 @@ class TestLockAnalysis:
         assert mutexes == {"a", "b"}
 
 
+class TestLockRegionBoundaries:
+    """The region is the *open interval* between lock and unlock: the
+    lock/unlock statements themselves are not inside it, and sequential
+    same-mutex sections are distinct regions."""
+
+    def test_lock_and_unlock_not_inside_their_own_region(self):
+        module = lower(LOCK_PROTECTED)
+        locks = LockAnalysis(module)
+        for func in module.functions.values():
+            for inst in func.body:
+                if isinstance(inst, (LockInst, UnlockInst)):
+                    assert locks.regions_of(inst) == ()
+
+    def test_first_statement_after_lock_is_inside(self):
+        module = lower(
+            """
+            void main() {
+                int** p = malloc();
+                lock(m);
+                int* v = *p;
+                unlock(m);
+            }
+            """
+        )
+        locks = LockAnalysis(module)
+        load = [i for i in module.functions["main"].body if isinstance(i, LoadInst)][0]
+        regions = locks.regions_of(load)
+        assert len(regions) == 1
+        assert regions[0].lock.label < load.label < regions[0].unlock.label
+
+    def test_sequential_sections_are_distinct_regions(self):
+        module = lower(
+            """
+            void main() {
+                int** p = malloc();
+                lock(m);
+                int* a = *p;
+                unlock(m);
+                lock(m);
+                int* b = *p;
+                unlock(m);
+            }
+            """
+        )
+        locks = LockAnalysis(module)
+        loads = [i for i in module.functions["main"].body if isinstance(i, LoadInst)]
+        ra = locks.regions_of(loads[0])
+        rb = locks.regions_of(loads[1])
+        assert len(ra) == len(rb) == 1
+        assert ra[0] is not rb[0]
+        # Distinct same-mutex regions of one thread still pair up for
+        # mutual exclusion (they are trivially ordered by program order).
+        assert locks.common_mutex_regions(loads[0], loads[1])
+
+    def test_statement_between_sections_is_uncovered(self):
+        module = lower(
+            """
+            void main() {
+                int** p = malloc();
+                lock(m);
+                int* a = *p;
+                unlock(m);
+                int* mid = *p;
+                lock(m);
+                int* b = *p;
+                unlock(m);
+            }
+            """
+        )
+        locks = LockAnalysis(module)
+        loads = [i for i in module.functions["main"].body if isinstance(i, LoadInst)]
+        assert locks.regions_of(loads[1]) == ()
+
+    def test_mismatched_unlock_ignored(self):
+        module = lower(
+            """
+            void main() {
+                int** p = malloc();
+                lock(m);
+                int* v = *p;
+                unlock(n);
+            }
+            """
+        )
+        locks = LockAnalysis(module)
+        load = [i for i in module.functions["main"].body if isinstance(i, LoadInst)][0]
+        # unlock(n) closes nothing and lock(m) stays unbalanced: no region.
+        assert locks.regions_of(load) == ()
+
+    def test_same_region_not_paired_with_itself(self):
+        module = lower(
+            """
+            void main() {
+                int** p = malloc();
+                lock(m);
+                int* a = *p;
+                int* b = *p;
+                unlock(m);
+            }
+            """
+        )
+        locks = LockAnalysis(module)
+        loads = [i for i in module.functions["main"].body if isinstance(i, LoadInst)]
+        assert locks.common_mutex_regions(loads[0], loads[1]) == []
+
+
 class TestLockAwareChecking:
     def test_fp_without_lock_modeling(self):
         # Matching the published Canary: locks ignored => FP reported.
